@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fbmpk"
+)
+
+func TestRunGeneratedMatrix(t *testing.T) {
+	err := run("", "pwtk", 0.002, 1, 3, "", "fbmpk", true, 2, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStandardEngine(t *testing.T) {
+	if err := run("", "cant", 0.002, 1, 2, "", "standard", false, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSSpMVCoefficients(t *testing.T) {
+	if err := run("", "G3_circuit", 0.002, 1, 0, "1,0.5,0.25", "fbmpk", true, 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	a, err := fbmpk.GenerateSuiteMatrix("shipsec1", 0.001, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	if err := fbmpk.SaveMatrixMarket(path, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", 0, 0, 2, "", "fbmpk", true, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", 0.01, 1, 2, "", "fbmpk", true, 1, 0, false); err == nil {
+		t.Error("accepted missing matrix source")
+	}
+	if err := run("", "nope", 0.01, 1, 2, "", "fbmpk", true, 1, 0, false); err == nil {
+		t.Error("accepted unknown matrix")
+	}
+	if err := run("", "cant", 0.002, 1, 2, "", "bogus", true, 1, 0, false); err == nil {
+		t.Error("accepted unknown engine")
+	}
+	if err := run("", "cant", 0.002, 1, 2, "1,abc", "fbmpk", true, 1, 0, false); err == nil {
+		t.Error("accepted bad coefficients")
+	}
+	if err := run("/does/not/exist.mtx", "", 0, 0, 2, "", "fbmpk", true, 1, 0, false); err == nil {
+		t.Error("accepted missing file")
+	}
+}
+
+func TestParseCoeffs(t *testing.T) {
+	cs, err := parseCoeffs(" 1, -2.5 ,3e-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 || cs[0] != 1 || cs[1] != -2.5 || cs[2] != 0.3 {
+		t.Errorf("parseCoeffs = %v", cs)
+	}
+}

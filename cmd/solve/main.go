@@ -1,0 +1,158 @@
+// Command solve runs the iterative solvers of the solver package on a
+// generated suite matrix or a MatrixMarket file, with every matrix
+// application accelerated by the FBMPK plan.
+//
+// Usage:
+//
+//	solve -matrix af_shell10 -method cg -tol 1e-8
+//	solve -matrix G3_circuit -method chebyshev -degree 8
+//	solve -matrix ldoor -method power
+//	solve -file m.mtx -method cg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+
+	"fbmpk"
+	"fbmpk/solver"
+)
+
+func main() {
+	var (
+		file    = flag.String("file", "", "MatrixMarket file")
+		matrix  = flag.String("matrix", "", "suite matrix name")
+		scale   = flag.Float64("scale", 0.006, "suite matrix scale")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		method  = flag.String("method", "cg", "cg | pcg | chebyshev | power | krylov | gmres | lanczos | subspace")
+		tol     = flag.Float64("tol", 1e-8, "convergence tolerance")
+		maxIter = flag.Int("maxiter", 2000, "iteration budget")
+		degree  = flag.Int("degree", 8, "chebyshev polynomial degree / krylov s")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+	)
+	flag.Parse()
+	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads); err != nil {
+		fmt.Fprintln(os.Stderr, "solve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int) error {
+	var (
+		a   *fbmpk.Matrix
+		err error
+	)
+	switch {
+	case file != "":
+		a, _, err = fbmpk.LoadMatrixMarket(file)
+	case matrix != "":
+		a, err = fbmpk.GenerateSuiteMatrix(matrix, scale, seed)
+	default:
+		return fmt.Errorf("one of -file or -matrix is required")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("matrix: %v\n", a)
+	plan, err := fbmpk.NewPlan(a, fbmpk.DefaultOptions(threads))
+	if err != nil {
+		return err
+	}
+	defer plan.Close()
+
+	n := a.Rows
+	xStar := make([]float64, n)
+	for i := range xStar {
+		xStar[i] = math.Cos(float64(i) * 0.61)
+	}
+	b, err := plan.MPK(xStar, 1)
+	if err != nil {
+		return err
+	}
+
+	switch method {
+	case "cg":
+		res, err := solver.CG(plan, b, tol, maxIter)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("CG converged in %d iterations, relative residual %.3e\n",
+			res.Iterations, res.Residuals[len(res.Residuals)-1]/res.Residuals[0])
+	case "chebyshev":
+		lo, hi := solver.Gershgorin(a)
+		if lo <= 0 {
+			lo = hi * 1e-4
+		}
+		x, err := solver.ChebyshevSolve(plan, b, lo, hi, degree)
+		if err != nil {
+			return err
+		}
+		ax, err := plan.MPK(x, 1)
+		if err != nil {
+			return err
+		}
+		var r, bn float64
+		for i := range ax {
+			d := b[i] - ax[i]
+			r += d * d
+			bn += b[i] * b[i]
+		}
+		fmt.Printf("Chebyshev degree %d: relative residual %.3e (spectrum [%.3g, %.3g])\n",
+			degree, math.Sqrt(r/bn), lo, hi)
+	case "power":
+		x0 := make([]float64, n)
+		s := uint64(99)
+		for i := range x0 {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			x0[i] = float64(int64(s%2000)-1000) / 1000
+		}
+		res, err := solver.PowerMethod(plan, x0, 4, maxIter, tol)
+		if err != nil {
+			fmt.Printf("power method: %v\n", err)
+		}
+		fmt.Printf("dominant eigenvalue ~= %.8g (residual %.3e, %d applications)\n",
+			res.Lambda, res.Residual, res.Iterations)
+	case "krylov":
+		basis, err := solver.KrylovBasis(plan, b, degree)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("s-step Krylov basis: %d orthonormal vectors from one fused sweep (s=%d)\n",
+			len(basis), degree)
+	case "gmres":
+		res, err := solver.GMRES(plan, b, 30, tol, maxIter)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("GMRES(30) converged in %d iterations, relative residual %.3e\n",
+			res.Iterations, res.Residuals[len(res.Residuals)-1]/res.Residuals[0])
+	case "pcg":
+		res, err := solver.PCG(plan, b, &solver.SymGSPreconditioner{Plan: plan}, tol, maxIter)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("SYMGS-PCG converged in %d iterations, relative residual %.3e\n",
+			res.Iterations, res.Residuals[len(res.Residuals)-1]/res.Residuals[0])
+	case "lanczos":
+		lo, hi, err := solver.ExtremalEigenvalues(plan, b, degree)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Lanczos(%d) spectrum estimate: [%.6g, %.6g]\n", degree, lo, hi)
+	case "subspace":
+		res, err := solver.SubspaceIteration(plan, 3, 3, maxIter, tol, seed)
+		if err != nil {
+			fmt.Printf("subspace iteration: %v\n", err)
+		}
+		fmt.Printf("3 dominant eigenvalues: %.6g %.6g %.6g (residual %.3e)\n",
+			res.Lambdas[0], res.Lambdas[1], res.Lambdas[2], res.Residual)
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestSolveMethods(t *testing.T) {
+	cases := []struct {
+		name, method string
+		matrix       string
+		tol          float64
+		maxIter      int
+		degree       int
+	}{
+		{"cg", "cg", "G3_circuit", 1e-8, 500, 8},
+		{"pcg", "pcg", "pwtk", 1e-8, 500, 8},
+		{"chebyshev", "chebyshev", "G3_circuit", 1e-8, 100, 6},
+		{"krylov", "krylov", "cant", 1e-8, 100, 5},
+		{"gmres", "gmres", "cage14", 1e-8, 500, 8},
+		{"lanczos", "lanczos", "Serena", 1e-8, 100, 10},
+		{"subspace", "subspace", "shipsec1", 1e-3, 100, 4},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if err := run("", c.matrix, 0.002, 1, c.method, c.tol, c.maxIter, c.degree, 2); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSolvePowerReportsEvenUnconverged(t *testing.T) {
+	// The power method may not converge in a few iterations; run must
+	// still report the estimate without returning an error.
+	if err := run("", "ldoor", 0.001, 1, "power", 1e-12, 3, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if err := run("", "", 0.01, 1, "cg", 1e-8, 10, 4, 1); err == nil {
+		t.Error("accepted missing source")
+	}
+	if err := run("", "cant", 0.002, 1, "bogus", 1e-8, 10, 4, 1); err == nil {
+		t.Error("accepted unknown method")
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestProfileRuns(t *testing.T) {
+	for _, llc := range []string{"scaled", "xeon", "kp920", "thunderx2", "ft2000"} {
+		if err := run("", "pwtk", 0.002, 1, "3,6", llc, 8); err != nil {
+			t.Fatalf("llc=%s: %v", llc, err)
+		}
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	if err := run("", "", 0.01, 1, "3", "scaled", 8); err == nil {
+		t.Error("accepted missing source")
+	}
+	if err := run("", "pwtk", 0.002, 1, "3", "bogus", 8); err == nil {
+		t.Error("accepted unknown llc")
+	}
+	if err := run("", "pwtk", 0.002, 1, "abc", "scaled", 8); err == nil {
+		t.Error("accepted bad power list")
+	}
+	if err := run("", "pwtk", 0.002, 1, "0", "scaled", 8); err == nil {
+		t.Error("accepted k=0")
+	}
+}

@@ -1,0 +1,66 @@
+package fbmpk_test
+
+import (
+	"fmt"
+
+	"fbmpk"
+)
+
+// ExampleMPK computes A^2 x for a tiny hand-built matrix.
+func ExampleMPK() {
+	tr := fbmpk.NewTriplets(3, 3, 4)
+	tr.Add(0, 0, 2)
+	tr.Add(0, 1, -1)
+	tr.Add(1, 1, 3)
+	tr.Add(2, 2, 4)
+	a := tr.ToCSR()
+
+	x, err := fbmpk.MPK(a, []float64{1, 1, 1}, 2,
+		fbmpk.Options{Engine: fbmpk.EngineForwardBackward, BtB: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(x)
+	// Output: [-1 9 16]
+}
+
+// ExamplePlan_SSpMV evaluates a short polynomial in A applied to x as
+// one fused pipeline.
+func ExamplePlan_SSpMV() {
+	tr := fbmpk.NewTriplets(2, 2, 2)
+	tr.Add(0, 0, 1)
+	tr.Add(1, 1, 2)
+	a := tr.ToCSR()
+
+	plan, err := fbmpk.NewPlan(a, fbmpk.Options{Engine: fbmpk.EngineForwardBackward})
+	if err != nil {
+		panic(err)
+	}
+	defer plan.Close()
+
+	// y = 1*x + 1*Ax + 1*A^2 x; A = diag(1, 2).
+	y, err := plan.SSpMV([]float64{1, 1, 1}, []float64{1, 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(y)
+	// Output: [3 7]
+}
+
+// ExampleStandardMPK shows the Algorithm 1 baseline the paper
+// compares against.
+func ExampleStandardMPK() {
+	tr := fbmpk.NewTriplets(2, 2, 3)
+	tr.Add(0, 0, 0)
+	tr.Add(0, 1, 1)
+	tr.Add(1, 0, 1)
+	a := tr.ToCSR()
+
+	// A is the swap matrix; A^3 swaps once net.
+	x, err := fbmpk.StandardMPK(a, []float64{5, 7}, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(x)
+	// Output: [7 5]
+}

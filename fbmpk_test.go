@@ -1,0 +1,133 @@
+package fbmpk
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func normInfTest(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+func onesVec(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+func TestPublicAPISmoke(t *testing.T) {
+	a, err := GenerateSuiteMatrix("shipsec1", 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := onesVec(a.Rows)
+	const k = 5
+
+	want, err := StandardMPK(a, x0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MPK(a, x0, k, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 1 + normInfTest(want)
+	for i := range got {
+		if d := math.Abs(got[i] - want[i]); d > 1e-6*scale {
+			t.Fatalf("MPK[%d] differs: %g vs %g", i, got[i], want[i])
+		}
+	}
+	// FBMPK reassociates the floating-point sums, so agreement is to
+	// roundoff accumulated over k applications, not bitwise.
+	if err := Verify(a, x0, got, k, 1e-6); err != nil {
+		t.Errorf("Verify rejected a correct result: %v", err)
+	}
+	got[0] += 1e3 * (1 + normInfTest(want))
+	if err := Verify(a, x0, got, k, 1e-6); err == nil {
+		t.Error("Verify accepted a corrupted result")
+	}
+}
+
+func TestPublicSSpMV(t *testing.T) {
+	a, err := GenerateSuiteMatrix("G3_circuit", 0.002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := onesVec(a.Rows)
+	coeffs := []float64{1, 0.5, 0.25}
+	y, err := SSpMV(a, coeffs, x0, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference via the standard engine.
+	ref, err := SSpMV(a, coeffs, x0, Options{Engine: EngineStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if d := math.Abs(y[i] - ref[i]); d > 1e-9 {
+			t.Fatalf("SSpMV[%d] differs by %g", i, d)
+		}
+	}
+}
+
+func TestTripletsBuilder(t *testing.T) {
+	tr := NewTriplets(3, 3, 4)
+	tr.Add(0, 0, 2)
+	tr.Add(1, 1, 3)
+	tr.Add(2, 2, 4)
+	tr.Add(0, 1, -1)
+	a := tr.ToCSR()
+	x, err := MPK(a, []float64{1, 1, 1}, 2, Options{Engine: EngineForwardBackward, BtB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A = [[2,-1,0],[0,3,0],[0,0,4]]; A^2 [1,1,1] = [1... compute:
+	// A*[1,1,1] = [1,3,4]; A*[1,3,4] = [2-3, 9, 16] = [-1,9,16].
+	want := []float64{-1, 9, 16}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripPublic(t *testing.T) {
+	a, err := GenerateSuiteMatrix("cant", 0.001, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cant.mtx")
+	if err := SaveMatrixMarket(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, sym, err := LoadMatrixMarket(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym {
+		t.Error("general writer should not produce a symmetric header")
+	}
+	if !a.Equal(back) {
+		t.Error("round trip changed the matrix")
+	}
+}
+
+func TestSuiteNamesComplete(t *testing.T) {
+	names := SuiteNames()
+	if len(names) != 14 {
+		t.Fatalf("suite has %d names", len(names))
+	}
+	if _, err := GenerateSuiteMatrix("not-a-matrix", 0.01, 1); err == nil {
+		t.Error("accepted unknown suite matrix")
+	}
+}

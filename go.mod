@@ -1,0 +1,3 @@
+module fbmpk
+
+go 1.22

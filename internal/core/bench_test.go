@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbmpk/internal/parallel"
+	"fbmpk/internal/reorder"
+	"fbmpk/internal/sparse"
+)
+
+func coreBenchMatrix(b *testing.B) *sparse.CSR {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return randomSymCSR(rng, 20000, 20)
+}
+
+func BenchmarkStandardMPKSerial(b *testing.B) {
+	a := coreBenchMatrix(b)
+	x0 := sparse.Ones(a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := StandardMPK(a, x0, 5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFBMPKSerialSeparate(b *testing.B) {
+	a := coreBenchMatrix(b)
+	tri, err := sparse.Split(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := sparse.Ones(a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FBMPKSerial(tri, x0, 5, false, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFBMPKSerialBtB(b *testing.B) {
+	a := coreBenchMatrix(b)
+	tri, err := sparse.Split(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := sparse.Ones(a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FBMPKSerial(tri, x0, 5, true, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFBMPKParallel(b *testing.B) {
+	a := coreBenchMatrix(b)
+	ord, pm, err := reorder.ABMCReorder(a, reorder.ABMCOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tri, err := sparse.Split(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	fb, err := NewFBParallel(tri, ord, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := sparse.Ones(a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := fb.Run(x0, 5, true, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymGSSerial(b *testing.B) {
+	a := coreBenchMatrix(b)
+	tri, err := sparse.Split(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := sparse.Ones(a.Rows)
+	x := make([]float64, a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SymGSSerial(tri, rhs, x, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWavefrontMPK(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := bandedMatrix(rng, 20000, 8)
+	lp, err := BFSLevels(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x0 := sparse.Ones(a.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := WavefrontMPK(a, lp, x0, 5, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanBuild(b *testing.B) {
+	a := coreBenchMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewPlan(a, DefaultOptions(2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Close()
+	}
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"fbmpk/internal/sparse"
+)
+
+// The forward-backward pipeline (Section III-B). State machine:
+//
+//	head:     tmp = U*x0                       (one pass over U)
+//	forward:  x_{t+1}[i] = tmp[i] + d[i]*x_t[i] + (L*x_t)[i]
+//	          and, pipelined in the same pass over L,
+//	          tmp[i] = (L*x_{t+1})[i] + d[i]*x_{t+1}[i]
+//	backward: x_{t+1}[i] = tmp[i] + (U*x_t)[i]  (rows bottom-up)
+//	          and, pipelined, tmp[i] = (U*x_{t+1})[i]
+//
+// The forward lookahead is legal because L is strictly lower: row i
+// only needs x_{t+1}[j] for j < i, already produced this sweep.
+// Mirrored reasoning covers the backward sweep over strictly upper U.
+// Each sweep reads its triangle once but completes one iterate and
+// half of the next, so A is read about (k+1)/2 times instead of k.
+// The final sweep skips the lookahead (nothing follows it), which is
+// the "tail" of the paper's Algorithm 2.
+//
+// Two storage layouts implement the same pipeline:
+//
+//   - separate: iterates alternate between two plain arrays (the "FB"
+//     variant of the Fig 10 ablation);
+//   - back-to-back (BtB, Section III-C): both live iterates interleave
+//     in one array xy with xy[2i] / xy[2i+1], so the two loads the
+//     inner loop issues per L/U entry share a cache line.
+
+// fbState carries the kernel buffers so plans can reuse them across
+// calls without reallocating.
+type fbState struct {
+	tmp []float64
+	xy  []float64 // BtB layout, len 2n (nil for the separate layout)
+	a   []float64 // separate layout: even iterates
+	b   []float64 // separate layout: odd iterates
+}
+
+func newFBState(n int, btb bool) *fbState {
+	s := &fbState{tmp: make([]float64, n)}
+	if btb {
+		s.xy = make([]float64, 2*n)
+	} else {
+		s.a = make([]float64, n)
+		s.b = make([]float64, n)
+	}
+	return s
+}
+
+// FBMPKSerial runs the forward-backward MPK on a split matrix:
+// it computes A^k x0 and returns it in a fresh slice.
+// btb selects the interleaved vector layout. coeffs, when non-nil,
+// must have length k+1 and makes the kernel also accumulate
+// combo = sum coeffs[i] * A^i * x0 (returned second, else nil).
+// onIterate, when non-nil, observes a copy of each iterate.
+func FBMPKSerial(tri *sparse.Triangular, x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
+	n := tri.N
+	if len(x0) != n {
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), n)
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+	}
+	if coeffs != nil && len(coeffs) != k+1 {
+		return nil, nil, fmt.Errorf("core: coeffs length %d != k+1 = %d", len(coeffs), k+1)
+	}
+	st := newFBState(n, btb)
+	if coeffs != nil {
+		combo = make([]float64, n)
+		for i := range combo {
+			combo[i] = coeffs[0] * x0[i]
+		}
+	}
+	var scratch []float64
+	if onIterate != nil {
+		scratch = make([]float64, n)
+	}
+
+	emit := func(power int, get func(i int) float64) {
+		if combo != nil && coeffs[power] != 0 {
+			c := coeffs[power]
+			for i := 0; i < n; i++ {
+				combo[i] += c * get(i)
+			}
+		}
+		if onIterate != nil {
+			for i := 0; i < n; i++ {
+				scratch[i] = get(i)
+			}
+			onIterate(power, scratch)
+		}
+	}
+
+	if btb {
+		xy := st.xy
+		for i := 0; i < n; i++ {
+			xy[2*i] = x0[i]
+		}
+		sparse.SpMV(tri.U, x0, st.tmp) // head
+		t := 0
+		for t < k {
+			last := t+1 == k
+			fbForwardBtB(tri, xy, st.tmp, last)
+			t++
+			emit(t, func(i int) float64 { return xy[2*i+1] })
+			if t == k {
+				break
+			}
+			last = t+1 == k
+			fbBackwardBtB(tri, xy, st.tmp, last)
+			t++
+			emit(t, func(i int) float64 { return xy[2*i] })
+		}
+		xk = make([]float64, n)
+		if k%2 == 1 {
+			for i := 0; i < n; i++ {
+				xk[i] = xy[2*i+1]
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				xk[i] = xy[2*i]
+			}
+		}
+		return xk, combo, nil
+	}
+
+	copy(st.a, x0)
+	sparse.SpMV(tri.U, x0, st.tmp) // head
+	t := 0
+	for t < k {
+		last := t+1 == k
+		fbForwardSep(tri, st.a, st.b, st.tmp, last)
+		t++
+		emit(t, func(i int) float64 { return st.b[i] })
+		if t == k {
+			break
+		}
+		last = t+1 == k
+		fbBackwardSep(tri, st.a, st.b, st.tmp, last)
+		t++
+		emit(t, func(i int) float64 { return st.a[i] })
+	}
+	xk = make([]float64, n)
+	if k%2 == 1 {
+		copy(xk, st.b)
+	} else {
+		copy(xk, st.a)
+	}
+	return xk, combo, nil
+}
+
+// fbForwardBtB is the forward sweep over L with the BtB layout
+// (Algorithm 2 lines 7-16): completes the next iterate in the odd
+// slots from the previous one in the even slots, and unless last,
+// leaves tmp = (L + D) * x_next for the backward sweep.
+func fbForwardBtB(tri *sparse.Triangular, xy, tmp []float64, last bool) {
+	rp, ci, v := tri.L.RowPtr, tri.L.ColIdx, tri.L.Val
+	d := tri.D
+	n := tri.N
+	if last {
+		for i := 0; i < n; i++ {
+			sum0 := tmp[i] + d[i]*xy[2*i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xy[2*ci[j]]
+			}
+			xy[2*i+1] = sum0
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		sum0 := tmp[i] + d[i]*xy[2*i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := 2 * ci[j]
+			sum0 += v[j] * xy[c]
+			sum1 += v[j] * xy[c+1]
+		}
+		xy[2*i+1] = sum0
+		tmp[i] = sum1 + d[i]*sum0
+	}
+}
+
+// fbBackwardBtB is the backward sweep over U (Algorithm 2 lines
+// 19-28): completes the next iterate in the even slots from the odd
+// slots, bottom-up, and unless last leaves tmp = U * x_next.
+func fbBackwardBtB(tri *sparse.Triangular, xy, tmp []float64, last bool) {
+	rp, ci, v := tri.U.RowPtr, tri.U.ColIdx, tri.U.Val
+	n := tri.N
+	if last {
+		for i := n - 1; i >= 0; i-- {
+			sum0 := tmp[i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xy[2*ci[j]+1]
+			}
+			xy[2*i] = sum0
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum0 := tmp[i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := 2 * ci[j]
+			sum0 += v[j] * xy[c+1]
+			sum1 += v[j] * xy[c]
+		}
+		xy[2*i] = sum0
+		tmp[i] = sum1
+	}
+}
+
+// fbForwardSep is the forward sweep with separate vectors: xprev holds
+// x_t, xnext receives x_{t+1}.
+func fbForwardSep(tri *sparse.Triangular, xprev, xnext, tmp []float64, last bool) {
+	rp, ci, v := tri.L.RowPtr, tri.L.ColIdx, tri.L.Val
+	d := tri.D
+	n := tri.N
+	if last {
+		for i := 0; i < n; i++ {
+			sum0 := tmp[i] + d[i]*xprev[i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xprev[ci[j]]
+			}
+			xnext[i] = sum0
+		}
+		return
+	}
+	for i := 0; i < n; i++ {
+		sum0 := tmp[i] + d[i]*xprev[i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := ci[j]
+			sum0 += v[j] * xprev[c]
+			sum1 += v[j] * xnext[c]
+		}
+		xnext[i] = sum0
+		tmp[i] = sum1 + d[i]*sum0
+	}
+}
+
+// fbBackwardSep is the backward sweep with separate vectors: xprev
+// holds x_t (the odd iterate), xnext receives x_{t+1}.
+func fbBackwardSep(tri *sparse.Triangular, xnext, xprev, tmp []float64, last bool) {
+	rp, ci, v := tri.U.RowPtr, tri.U.ColIdx, tri.U.Val
+	n := tri.N
+	if last {
+		for i := n - 1; i >= 0; i-- {
+			sum0 := tmp[i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xprev[ci[j]]
+			}
+			xnext[i] = sum0
+		}
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		sum0 := tmp[i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := ci[j]
+			sum0 += v[j] * xprev[c]
+			sum1 += v[j] * xnext[c]
+		}
+		xnext[i] = sum0
+		tmp[i] = sum1
+	}
+}

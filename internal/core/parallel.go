@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"fbmpk/internal/parallel"
+	"fbmpk/internal/reorder"
+	"fbmpk/internal/sparse"
+)
+
+// FBParallel executes the forward-backward pipeline in parallel over
+// an ABMC-ordered matrix (Section III-D / Algorithm 2). The matrix
+// must already be permuted by the ABMC ordering; blocks of one color
+// are distributed over the workers, colors run in sequence with a
+// barrier in between — ascending in the forward sweep, descending in
+// the backward sweep — which is exactly the dependency structure the
+// coloring guarantees safe.
+type FBParallel struct {
+	tri  *sparse.Triangular
+	ord  *reorder.ABMCResult
+	pool *parallel.Pool
+	bar  *parallel.Barrier
+
+	// colorBounds[c] assigns each worker a contiguous block range of
+	// color c, balanced by row count ("the number of blocks for each
+	// thread task are allocated in advance", Algorithm 2).
+	colorBounds [][]int
+	headBounds  []int // row partition for the head SpMV over U
+	denseBounds []int // even row partition for vector updates
+}
+
+// NewFBParallel prepares a parallel FBMPK executor. tri must be the
+// split of the ABMC-permuted matrix; ord the ordering that produced
+// it. The pool is borrowed, not owned.
+func NewFBParallel(tri *sparse.Triangular, ord *reorder.ABMCResult, pool *parallel.Pool) (*FBParallel, error) {
+	if tri.N != len(ord.Perm) {
+		return nil, fmt.Errorf("core: matrix size %d != ordering size %d", tri.N, len(ord.Perm))
+	}
+	w := pool.Workers()
+	f := &FBParallel{
+		tri:  tri,
+		ord:  ord,
+		pool: pool,
+		bar:  parallel.NewBarrier(w),
+	}
+	f.colorBounds = make([][]int, ord.NumColors)
+	for c := 0; c < ord.NumColors; c++ {
+		f.colorBounds[c] = parallel.PartitionBlocks(
+			int(ord.ColorPtr[c]), int(ord.ColorPtr[c+1]), w, ord.BlockPtr)
+	}
+	f.headBounds = parallel.PartitionByPtr(tri.N, w, tri.U.RowPtr)
+	f.denseBounds = parallel.PartitionRows(tri.N, w, func(int) int64 { return 1 })
+	return f, nil
+}
+
+// rowRange resolves worker id's row span within color c.
+func (f *FBParallel) rowRange(c, id int) (int, int) {
+	b := f.colorBounds[c]
+	return int(f.ord.BlockPtr[b[id]]), int(f.ord.BlockPtr[b[id+1]])
+}
+
+// Run computes A^k x0 (x0 and the result in the PERMUTED numbering).
+// btb selects the interleaved layout; coeffs (nil or length k+1)
+// additionally accumulates the SSpMV combination.
+func (f *FBParallel) Run(x0 []float64, k int, btb bool, coeffs []float64) (xk, combo []float64, err error) {
+	return f.RunCapture(x0, k, btb, coeffs, nil)
+}
+
+// RunCapture is Run with an iterate observer: onIterate fires after
+// every completed power, on worker 0, with all other workers parked at
+// a barrier (so the scratch iterate is stable while observed).
+func (f *FBParallel) RunCapture(x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
+	n := f.tri.N
+	if len(x0) != n {
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), n)
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+	}
+	if coeffs != nil && len(coeffs) != k+1 {
+		return nil, nil, fmt.Errorf("core: coeffs length %d != k+1 = %d", len(coeffs), k+1)
+	}
+	if n == 0 {
+		if coeffs != nil {
+			combo = []float64{}
+		}
+		return []float64{}, combo, nil
+	}
+	st := newFBState(n, btb)
+	if coeffs != nil {
+		combo = make([]float64, n)
+	}
+	var scratch []float64
+	if onIterate != nil {
+		scratch = make([]float64, n)
+	}
+	// capture observes the completed iterate on worker 0. The sweep
+	// that follows never writes the slots being read (forward writes
+	// odd, backward writes even), and the other workers cannot start a
+	// second sweep before worker 0 joins their next color barrier, so
+	// no extra synchronization is needed.
+	capture := func(id, power int, odd bool) {
+		if onIterate == nil || id != 0 {
+			return
+		}
+		switch {
+		case btb && odd:
+			for i := 0; i < n; i++ {
+				scratch[i] = st.xy[2*i+1]
+			}
+		case btb:
+			for i := 0; i < n; i++ {
+				scratch[i] = st.xy[2*i]
+			}
+		case odd:
+			copy(scratch, st.b)
+		default:
+			copy(scratch, st.a)
+		}
+		onIterate(power, scratch)
+	}
+	nc := f.ord.NumColors
+
+	f.pool.Run(func(id int) {
+		dLo, dHi := f.denseBounds[id], f.denseBounds[id+1]
+		// Init vectors and head: tmp = U * x0.
+		if btb {
+			for i := dLo; i < dHi; i++ {
+				st.xy[2*i] = x0[i]
+			}
+		} else {
+			copy(st.a[dLo:dHi], x0[dLo:dHi])
+		}
+		if combo != nil {
+			c0 := coeffs[0]
+			for i := dLo; i < dHi; i++ {
+				combo[i] = c0 * x0[i]
+			}
+		}
+		f.bar.Wait()
+		sparse.SpMVRange(f.tri.U, x0, st.tmp, f.headBounds[id], f.headBounds[id+1])
+		f.bar.Wait()
+
+		t := 0
+		for t < k {
+			last := t+1 == k
+			for c := 0; c < nc; c++ {
+				lo, hi := f.rowRange(c, id)
+				if btb {
+					fbForwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
+				} else {
+					fbForwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+				}
+				f.bar.Wait()
+			}
+			t++
+			if combo != nil && coeffs[t] != 0 {
+				cc := coeffs[t]
+				if btb {
+					for i := dLo; i < dHi; i++ {
+						combo[i] += cc * st.xy[2*i+1]
+					}
+				} else {
+					for i := dLo; i < dHi; i++ {
+						combo[i] += cc * st.b[i]
+					}
+				}
+			}
+			capture(id, t, true)
+			if t == k {
+				break
+			}
+			last = t+1 == k
+			for c := nc - 1; c >= 0; c-- {
+				lo, hi := f.rowRange(c, id)
+				if btb {
+					fbBackwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
+				} else {
+					fbBackwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+				}
+				f.bar.Wait()
+			}
+			t++
+			if combo != nil && coeffs[t] != 0 {
+				cc := coeffs[t]
+				if btb {
+					for i := dLo; i < dHi; i++ {
+						combo[i] += cc * st.xy[2*i]
+					}
+				} else {
+					for i := dLo; i < dHi; i++ {
+						combo[i] += cc * st.a[i]
+					}
+				}
+			}
+			capture(id, t, false)
+		}
+	})
+
+	xk = make([]float64, n)
+	switch {
+	case btb && k%2 == 1:
+		for i := 0; i < n; i++ {
+			xk[i] = st.xy[2*i+1]
+		}
+	case btb:
+		for i := 0; i < n; i++ {
+			xk[i] = st.xy[2*i]
+		}
+	case k%2 == 1:
+		copy(xk, st.b)
+	default:
+		copy(xk, st.a)
+	}
+	return xk, combo, nil
+}
+
+// Range variants of the four sweep kernels. The full-matrix serial
+// kernels in fbmpk.go keep their own straight-line loops (they are the
+// single-thread fast path benchmarked in Fig 10); these add [lo, hi)
+// bounds for color-parallel execution.
+
+func fbForwardBtBRange(tri *sparse.Triangular, xy, tmp []float64, lo, hi int, last bool) {
+	rp, ci, v := tri.L.RowPtr, tri.L.ColIdx, tri.L.Val
+	d := tri.D
+	if last {
+		for i := lo; i < hi; i++ {
+			sum0 := tmp[i] + d[i]*xy[2*i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xy[2*ci[j]]
+			}
+			xy[2*i+1] = sum0
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		sum0 := tmp[i] + d[i]*xy[2*i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := 2 * ci[j]
+			sum0 += v[j] * xy[c]
+			sum1 += v[j] * xy[c+1]
+		}
+		xy[2*i+1] = sum0
+		tmp[i] = sum1 + d[i]*sum0
+	}
+}
+
+func fbBackwardBtBRange(tri *sparse.Triangular, xy, tmp []float64, lo, hi int, last bool) {
+	rp, ci, v := tri.U.RowPtr, tri.U.ColIdx, tri.U.Val
+	if last {
+		for i := hi - 1; i >= lo; i-- {
+			sum0 := tmp[i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xy[2*ci[j]+1]
+			}
+			xy[2*i] = sum0
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		sum0 := tmp[i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := 2 * ci[j]
+			sum0 += v[j] * xy[c+1]
+			sum1 += v[j] * xy[c]
+		}
+		xy[2*i] = sum0
+		tmp[i] = sum1
+	}
+}
+
+func fbForwardSepRange(tri *sparse.Triangular, xprev, xnext, tmp []float64, lo, hi int, last bool) {
+	rp, ci, v := tri.L.RowPtr, tri.L.ColIdx, tri.L.Val
+	d := tri.D
+	if last {
+		for i := lo; i < hi; i++ {
+			sum0 := tmp[i] + d[i]*xprev[i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xprev[ci[j]]
+			}
+			xnext[i] = sum0
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		sum0 := tmp[i] + d[i]*xprev[i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := ci[j]
+			sum0 += v[j] * xprev[c]
+			sum1 += v[j] * xnext[c]
+		}
+		xnext[i] = sum0
+		tmp[i] = sum1 + d[i]*sum0
+	}
+}
+
+func fbBackwardSepRange(tri *sparse.Triangular, xnext, xprev, tmp []float64, lo, hi int, last bool) {
+	rp, ci, v := tri.U.RowPtr, tri.U.ColIdx, tri.U.Val
+	if last {
+		for i := hi - 1; i >= lo; i-- {
+			sum0 := tmp[i]
+			for j := rp[i]; j < rp[i+1]; j++ {
+				sum0 += v[j] * xprev[ci[j]]
+			}
+			xnext[i] = sum0
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		sum0 := tmp[i]
+		sum1 := 0.0
+		for j := rp[i]; j < rp[i+1]; j++ {
+			c := ci[j]
+			sum0 += v[j] * xprev[c]
+			sum1 += v[j] * xnext[c]
+		}
+		xnext[i] = sum0
+		tmp[i] = sum1
+	}
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fbmpk/internal/graph"
+	"fbmpk/internal/parallel"
+	"fbmpk/internal/reorder"
+	"fbmpk/internal/sparse"
+)
+
+// Engine selects the MPK computation pipeline.
+type Engine int
+
+const (
+	// EngineStandard is the Algorithm 1 baseline: k plain SpMV sweeps.
+	EngineStandard Engine = iota
+	// EngineForwardBackward is the paper's FBMPK pipeline.
+	EngineForwardBackward
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineStandard:
+		return "standard"
+	case EngineForwardBackward:
+		return "fbmpk"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// Options configures a Plan.
+type Options struct {
+	Engine Engine
+	// BtB enables the back-to-back interleaved vector layout
+	// (Section III-C). Only meaningful for EngineForwardBackward.
+	BtB bool
+	// Threads > 1 enables the parallel engines with that many workers;
+	// 0 or 1 runs serial. For EngineForwardBackward parallel execution
+	// requires (and implies) ABMC reordering.
+	Threads int
+	// NumBlocks is the ABMC block count (0 = paper default 512).
+	NumBlocks int
+	// ColorOrder is the greedy coloring visit order for ABMC.
+	ColorOrder graph.ColorOrder
+	// ForceABMC applies ABMC reordering even for serial execution,
+	// which Table III uses to isolate the reordering's locality effect.
+	ForceABMC bool
+	// PreRCM applies a reverse Cuthill-McKee pass before blocking, so
+	// ABMC's contiguous blocks cover graph-local rows. Helps matrices
+	// whose natural order scatters neighborhoods (no-op without ABMC).
+	PreRCM bool
+}
+
+// DefaultOptions returns the configuration the paper evaluates as
+// "FBMPK": forward-backward pipeline, BtB layout, parallel over ABMC
+// colors with the default block count.
+func DefaultOptions(threads int) Options {
+	return Options{
+		Engine:  EngineForwardBackward,
+		BtB:     true,
+		Threads: threads,
+	}
+}
+
+// Plan is a prepared MPK/SSpMV executor for one matrix. Building a
+// Plan performs the one-off preprocessing the paper amortizes across
+// MPK invocations (Section V-F): the L+D+U split, and for parallel
+// FBMPK the ABMC reorder. Plans are not safe for concurrent use; they
+// own scratch state. Close releases the worker pool.
+type Plan struct {
+	opt  Options
+	n    int
+	a    *sparse.CSR         // matrix in execution order (permuted if ABMC)
+	tri  *sparse.Triangular  // split of a (FB engines)
+	ord  *reorder.ABMCResult // non-nil when ABMC was applied
+	pool *parallel.Pool      // non-nil when Threads > 1
+	fb   *FBParallel         // non-nil for parallel FB
+
+	px []float64 // permutation scratch for the input vector
+
+	symgs *SymGSParallel // lazily built parallel smoother
+	stats PlanStats
+}
+
+// PlanStats reports the one-off preprocessing cost of building a plan
+// — the quantity Fig 11 of the paper normalizes to SpMV invocations.
+type PlanStats struct {
+	ReorderTime time.Duration // ABMC permutation construction + apply
+	SplitTime   time.Duration // A = L + D + U
+	NumColors   int           // 0 when no ABMC was applied
+	NumBlocks   int
+}
+
+// NewPlan prepares an executor for the square matrix a. The input
+// matrix is not modified; reordering works on a copy.
+func NewPlan(a *sparse.CSR, opt Options) (*Plan, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("core: NewPlan: %w", sparse.ErrNotSquare)
+	}
+	p := &Plan{opt: opt, n: a.Rows, a: a}
+	parallelRun := opt.Threads > 1
+	needABMC := opt.ForceABMC || (parallelRun && opt.Engine == EngineForwardBackward)
+
+	if needABMC {
+		start := time.Now()
+		base := a
+		var pre reorder.Perm
+		if opt.PreRCM {
+			rcm, err := reorder.RCM(a)
+			if err != nil {
+				return nil, err
+			}
+			rm, err := rcm.ApplySym(a)
+			if err != nil {
+				return nil, err
+			}
+			base, pre = rm, rcm
+		}
+		ord, b, err := reorder.ABMCReorder(base, reorder.ABMCOptions{
+			NumBlocks:  opt.NumBlocks,
+			ColorOrder: opt.ColorOrder,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if pre != nil {
+			// Fold the RCM pre-pass into the ABMC permutation so the
+			// rest of the plan sees a single combined ordering.
+			ord.Perm = ord.Perm.Compose(pre)
+		}
+		p.stats.ReorderTime = time.Since(start)
+		p.stats.NumColors = ord.NumColors
+		p.stats.NumBlocks = ord.NumBlocks()
+		p.ord = ord
+		p.a = b
+		p.px = make([]float64, p.n)
+	}
+	if opt.Engine == EngineForwardBackward {
+		start := time.Now()
+		tri, err := sparse.Split(p.a)
+		if err != nil {
+			return nil, err
+		}
+		p.stats.SplitTime = time.Since(start)
+		p.tri = tri
+	}
+	if parallelRun {
+		p.pool = parallel.NewPool(opt.Threads)
+		if opt.Engine == EngineForwardBackward {
+			fb, err := NewFBParallel(p.tri, p.ord, p.pool)
+			if err != nil {
+				p.pool.Close()
+				return nil, err
+			}
+			p.fb = fb
+		}
+	}
+	return p, nil
+}
+
+// Close releases the plan's worker pool (no-op for serial plans).
+func (p *Plan) Close() {
+	if p.pool != nil {
+		p.pool.Close()
+	}
+}
+
+// N returns the matrix dimension.
+func (p *Plan) N() int { return p.n }
+
+// Stats returns the preprocessing cost breakdown of plan construction.
+func (p *Plan) Stats() PlanStats { return p.stats }
+
+// Ordering returns the ABMC result when reordering was applied, else
+// nil. The matrix held by the plan is in this ordering.
+func (p *Plan) Ordering() *reorder.ABMCResult { return p.ord }
+
+// Matrix returns the matrix in execution order (permuted when ABMC
+// was applied). Callers must not modify it.
+func (p *Plan) Matrix() *sparse.CSR { return p.a }
+
+// MPK computes A^k x0 and returns it in the ORIGINAL row ordering,
+// regardless of internal reordering.
+func (p *Plan) MPK(x0 []float64, k int) ([]float64, error) {
+	xk, _, err := p.run(x0, k, nil)
+	return xk, err
+}
+
+// SymGS applies sweeps symmetric Gauss-Seidel iterations for A x = b,
+// updating x in place (both in the original row ordering). The
+// smoother shares the plan's L+D+U split and, for parallel plans, its
+// ABMC coloring — the SYMGS connection of Sections III-A and VII.
+// Requires a forward-backward plan (the split is not built for the
+// standard engine). Rows with zero diagonal are skipped.
+func (p *Plan) SymGS(b, x []float64, sweeps int) error {
+	if p.tri == nil {
+		return fmt.Errorf("core: SymGS requires the forward-backward engine (no split available)")
+	}
+	if len(b) != p.n || len(x) != p.n {
+		return fmt.Errorf("core: SymGS dimension mismatch (n=%d, b=%d, x=%d)", p.n, len(b), len(x))
+	}
+	pb, pxv := b, x
+	if p.ord != nil {
+		pb = make([]float64, p.n)
+		pxv = make([]float64, p.n)
+		p.ord.Perm.ApplyVec(b, pb)
+		p.ord.Perm.ApplyVec(x, pxv)
+	}
+	if p.pool != nil && p.ord != nil {
+		if p.symgs == nil {
+			g, err := NewSymGSParallel(p.tri, p.ord, p.pool)
+			if err != nil {
+				return err
+			}
+			p.symgs = g
+		}
+		if err := p.symgs.Apply(pb, pxv, sweeps); err != nil {
+			return err
+		}
+	} else if err := SymGSSerial(p.tri, pb, pxv, sweeps); err != nil {
+		return err
+	}
+	if p.ord != nil {
+		p.ord.Perm.UnapplyVec(pxv, x)
+	}
+	return nil
+}
+
+// MPKAll computes the full Krylov-style sequence x0, Ax0, ..., A^k x0
+// and returns k+1 fresh vectors in the original row ordering — the
+// building block of s-step Krylov methods (the related-work use case
+// of Section VI). Memory: allocates (k+1) n-vectors.
+func (p *Plan) MPKAll(x0 []float64, k int) ([][]float64, error) {
+	if len(x0) != p.n {
+		return nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), p.n)
+	}
+	out := make([][]float64, k+1)
+	out[0] = sparse.CopyVec(x0)
+	hook := func(power int, x []float64) {
+		v := make([]float64, p.n)
+		if p.ord != nil {
+			p.ord.Perm.UnapplyVec(x, v)
+		} else {
+			copy(v, x)
+		}
+		out[power] = v
+	}
+	in := x0
+	if p.ord != nil {
+		p.ord.Perm.ApplyVec(x0, p.px)
+		in = p.px
+	}
+	var err error
+	switch {
+	case p.opt.Engine == EngineStandard && p.pool != nil:
+		_, err = StandardMPKParallel(p.a, in, k, p.pool, hook)
+	case p.opt.Engine == EngineStandard:
+		_, err = StandardMPK(p.a, in, k, hook)
+	case p.fb != nil:
+		_, _, err = p.fb.RunCapture(in, k, p.opt.BtB, nil, hook)
+	default:
+		_, _, err = FBMPKSerial(p.tri, in, k, p.opt.BtB, nil, hook)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MPKBatch computes A^k applied to a block of vectors via the SpMM
+// kernel (one matrix pass per power serves the whole block). The block
+// path always uses the standard pipeline — the blocked matrix reuse
+// across vectors already amortizes the traffic the FB pipeline would
+// save across powers. Results come back in the original ordering.
+func (p *Plan) MPKBatch(xs [][]float64, k int) ([][]float64, error) {
+	in := xs
+	if p.ord != nil {
+		in = make([][]float64, len(xs))
+		for c, x := range xs {
+			if len(x) != p.n {
+				return nil, fmt.Errorf("core: vector %d length %d != n %d", c, len(x), p.n)
+			}
+			px := make([]float64, p.n)
+			p.ord.Perm.ApplyVec(x, px)
+			in[c] = px
+		}
+	}
+	out, err := StandardMPKBatch(p.a, in, k)
+	if err != nil {
+		return nil, err
+	}
+	if p.ord != nil {
+		for c := range out {
+			v := make([]float64, p.n)
+			p.ord.Perm.UnapplyVec(out[c], v)
+			out[c] = v
+		}
+	}
+	return out, nil
+}
+
+// SSpMV computes sum_{i=0..len(coeffs)-1} coeffs[i] * A^i * x0 in the
+// original row ordering. len(coeffs) must be at least 2 for the FB
+// engine (use a plain AXPY for degree-0 polynomials).
+func (p *Plan) SSpMV(coeffs, x0 []float64) ([]float64, error) {
+	if len(coeffs) < 2 {
+		return SSpMVStandard(p.a, coeffs, x0) // degenerate; no reorder needed
+	}
+	_, combo, err := p.run(x0, len(coeffs)-1, coeffs)
+	return combo, err
+}
+
+// SSpMVComplex evaluates y = sum coeffs[i] * A^i * x0 for complex
+// coefficients (the paper's FBMPK library supports "real or complex
+// constants", Section I). A is real, so y splits into independent real
+// and imaginary combinations accumulated in one pipeline pass.
+func (p *Plan) SSpMVComplex(coeffs []complex128, x0 []float64) (re, im []float64, err error) {
+	if len(coeffs) == 0 {
+		return nil, nil, fmt.Errorf("core: SSpMVComplex needs at least one coefficient")
+	}
+	if len(x0) != p.n {
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), p.n)
+	}
+	re = make([]float64, p.n)
+	im = make([]float64, p.n)
+	for i := range x0 {
+		re[i] = real(coeffs[0]) * x0[i]
+		im[i] = imag(coeffs[0]) * x0[i]
+	}
+	if len(coeffs) == 1 {
+		return re, im, nil
+	}
+	// The hook sees iterates in the plan's execution ordering, so for
+	// reordered plans the accumulators move into permuted space first
+	// and the results unpermute once at the end.
+	k := len(coeffs) - 1
+	hook := func(power int, x []float64) {
+		if c := real(coeffs[power]); c != 0 {
+			sparse.AXPY(c, x, re)
+		}
+		if c := imag(coeffs[power]); c != 0 {
+			sparse.AXPY(c, x, im)
+		}
+	}
+	in := x0
+	if p.ord != nil {
+		p.ord.Perm.ApplyVec(x0, p.px)
+		in = p.px
+	}
+	// For reordered plans the hook sees permuted iterates; accumulate
+	// in permuted space and unpermute the results once at the end.
+	if p.ord != nil {
+		pre := make([]float64, p.n)
+		pim := make([]float64, p.n)
+		p.ord.Perm.ApplyVec(re, pre)
+		p.ord.Perm.ApplyVec(im, pim)
+		re, im = pre, pim
+	}
+	switch {
+	case p.opt.Engine == EngineStandard && p.pool != nil:
+		_, err = StandardMPKParallel(p.a, in, k, p.pool, hook)
+	case p.opt.Engine == EngineStandard:
+		_, err = StandardMPK(p.a, in, k, hook)
+	case p.fb != nil:
+		_, _, err = p.fb.RunCapture(in, k, p.opt.BtB, nil, hook)
+	default:
+		_, _, err = FBMPKSerial(p.tri, in, k, p.opt.BtB, nil, hook)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.ord != nil {
+		ore := make([]float64, p.n)
+		oim := make([]float64, p.n)
+		p.ord.Perm.UnapplyVec(re, ore)
+		p.ord.Perm.UnapplyVec(im, oim)
+		re, im = ore, oim
+	}
+	return re, im, nil
+}
+
+func (p *Plan) run(x0 []float64, k int, coeffs []float64) (xk, combo []float64, err error) {
+	if len(x0) != p.n {
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), p.n)
+	}
+	in := x0
+	if p.ord != nil {
+		p.ord.Perm.ApplyVec(x0, p.px)
+		in = p.px
+	}
+
+	switch {
+	case p.opt.Engine == EngineStandard && p.pool != nil:
+		xk, err = StandardMPKParallel(p.a, in, k, p.pool, nil)
+		if err == nil && coeffs != nil {
+			combo, err = p.standardCombo(in, coeffs)
+		}
+	case p.opt.Engine == EngineStandard:
+		var hook IterateFunc
+		if coeffs != nil {
+			combo = make([]float64, p.n)
+			for i := range combo {
+				combo[i] = coeffs[0] * in[i]
+			}
+			hook = func(power int, x []float64) {
+				if c := coeffs[power]; c != 0 {
+					sparse.AXPY(c, x, combo)
+				}
+			}
+		}
+		xk, err = StandardMPK(p.a, in, k, hook)
+	case p.fb != nil:
+		xk, combo, err = p.fb.Run(in, k, p.opt.BtB, coeffs)
+	default:
+		xk, combo, err = FBMPKSerial(p.tri, in, k, p.opt.BtB, coeffs, nil)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.ord != nil {
+		out := make([]float64, p.n)
+		p.ord.Perm.UnapplyVec(xk, out)
+		xk = out
+		if combo != nil {
+			cout := make([]float64, p.n)
+			p.ord.Perm.UnapplyVec(combo, cout)
+			combo = cout
+		}
+	}
+	return xk, combo, nil
+}
+
+// standardCombo evaluates the SSpMV combination with the parallel
+// standard engine by re-running the power sweep with a capture hook.
+func (p *Plan) standardCombo(in []float64, coeffs []float64) ([]float64, error) {
+	combo := make([]float64, p.n)
+	for i := range combo {
+		combo[i] = coeffs[0] * in[i]
+	}
+	_, err := StandardMPKParallel(p.a, in, len(coeffs)-1, p.pool, func(power int, x []float64) {
+		if c := coeffs[power]; c != 0 {
+			sparse.AXPY(c, x, combo)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return combo, nil
+}

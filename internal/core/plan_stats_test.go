@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPlanStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	a := randomSymCSR(rng, 200, 4)
+
+	// Serial standard plan: no preprocessing at all.
+	p0, err := NewPlan(a, Options{Engine: EngineStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p0.Close()
+	if st := p0.Stats(); st.ReorderTime != 0 || st.SplitTime != 0 || st.NumColors != 0 {
+		t.Errorf("standard plan stats = %+v, want zero", st)
+	}
+
+	// Serial FB: split only.
+	p1, err := NewPlan(a, Options{Engine: EngineForwardBackward, BtB: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	if st := p1.Stats(); st.SplitTime <= 0 || st.ReorderTime != 0 {
+		t.Errorf("serial FB stats = %+v, want split only", st)
+	}
+
+	// Parallel FB: reorder + split, colors and blocks recorded.
+	p2, err := NewPlan(a, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	st := p2.Stats()
+	if st.ReorderTime <= 0 || st.SplitTime <= 0 {
+		t.Errorf("parallel FB stats = %+v, want both times positive", st)
+	}
+	if st.NumColors < 1 || st.NumBlocks < 1 {
+		t.Errorf("parallel FB stats = %+v, want colors/blocks recorded", st)
+	}
+	if ord := p2.Ordering(); ord != nil && st.NumColors != ord.NumColors {
+		t.Errorf("stats colors %d != ordering colors %d", st.NumColors, ord.NumColors)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fbmpk/internal/parallel"
+	"fbmpk/internal/sparse"
+)
+
+func TestTriSolveInvertsMultiply(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(80)
+		a := spdMatrix(rng, n, 3)
+		tri, err := sparse.Split(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xWant := randVec(rng, n)
+		// b = (L + D) xWant, then solve.
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := tri.D[i] * xWant[i]
+			for j := tri.L.RowPtr[i]; j < tri.L.RowPtr[i+1]; j++ {
+				s += tri.L.Val[j] * xWant[tri.L.ColIdx[j]]
+			}
+			b[i] = s
+		}
+		x := make([]float64, n)
+		if err := TriSolveLower(tri, b, x); err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.MaxAbsDiff(x, xWant); d > 1e-9 {
+			t.Fatalf("trial %d: lower solve off by %g", trial, d)
+		}
+		// Upper.
+		for i := 0; i < n; i++ {
+			s := tri.D[i] * xWant[i]
+			for j := tri.U.RowPtr[i]; j < tri.U.RowPtr[i+1]; j++ {
+				s += tri.U.Val[j] * xWant[tri.U.ColIdx[j]]
+			}
+			b[i] = s
+		}
+		if err := TriSolveUpper(tri, b, x); err != nil {
+			t.Fatal(err)
+		}
+		if d := sparse.MaxAbsDiff(x, xWant); d > 1e-9 {
+			t.Fatalf("trial %d: upper solve off by %g", trial, d)
+		}
+	}
+}
+
+func TestTriSolveZeroPivot(t *testing.T) {
+	coo := sparse.NewCOO(2, 2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 0, 1) // row 1 has no diagonal
+	tri, _ := sparse.Split(coo.ToCSR())
+	x := make([]float64, 2)
+	if err := TriSolveLower(tri, []float64{1, 1}, x); err == nil {
+		t.Error("lower solve accepted zero pivot")
+	}
+	if err := TriSolveUpper(tri, []float64{1, 1}, x); err == nil {
+		t.Error("upper solve accepted zero pivot")
+	}
+	if err := TriSolveLower(tri, []float64{1}, x); err == nil {
+		t.Error("accepted short b")
+	}
+}
+
+func TestLevelTriSolverMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, workers := range []int{1, 2, 4} {
+		pool := parallel.NewPool(workers)
+		for trial := 0; trial < 3; trial++ {
+			n := 40 + rng.Intn(150)
+			a := spdMatrix(rng, n, 3)
+			tri, err := sparse.Split(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewLevelTriSolver(tri, pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lower, upper := s.NumLevels()
+			if lower < 1 || upper < 1 {
+				t.Fatalf("levels = %d, %d", lower, upper)
+			}
+			b := randVec(rng, n)
+			xs := make([]float64, n)
+			xp := make([]float64, n)
+			if err := TriSolveLower(tri, b, xs); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SolveLower(b, xp); err != nil {
+				t.Fatal(err)
+			}
+			if d := sparse.MaxAbsDiff(xs, xp); d > 1e-12 {
+				t.Fatalf("workers=%d: parallel lower solve differs by %g", workers, d)
+			}
+			if err := TriSolveUpper(tri, b, xs); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SolveUpper(b, xp); err != nil {
+				t.Fatal(err)
+			}
+			if d := sparse.MaxAbsDiff(xs, xp); d > 1e-12 {
+				t.Fatalf("workers=%d: parallel upper solve differs by %g", workers, d)
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestLevelTriSolverZeroPivot(t *testing.T) {
+	coo := sparse.NewCOO(3, 3, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1)
+	coo.Add(2, 1, 1) // row 2 no diagonal
+	tri, _ := sparse.Split(coo.ToCSR())
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	s, err := NewLevelTriSolver(tri, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 3)
+	if err := s.SolveLower([]float64{1, 1, 1}, x); err == nil {
+		t.Error("level solver accepted zero pivot")
+	}
+}

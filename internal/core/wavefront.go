@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"fbmpk/internal/graph"
+	"fbmpk/internal/sparse"
+)
+
+// Level-based (wavefront) MPK — a simplified reimplementation of the
+// approach behind LB-MPK (Alappat et al., the closest related work the
+// paper discusses in Section VI): rows are grouped into BFS levels of
+// the matrix graph, and powers advance along anti-diagonal wavefronts
+// so that values computed for one level are reused for the next power
+// while still cache-resident. The paper argues this approach must keep
+// multiple iterate vectors live (performance drops for k around 6-8 as
+// they fall out of cache) while FBMPK only ever keeps two; the
+// cachesim trace of this kernel (cachesim.TraceWavefrontMPK) lets that
+// comparison be reproduced quantitatively.
+
+// LevelPartition groups the rows of a square matrix by BFS level of
+// its symmetrized pattern graph (component by component). Every
+// neighbor of a level-l row lies in levels l-1..l+1, the property the
+// wavefront schedule relies on.
+type LevelPartition struct {
+	Level    []int32 // level of each row
+	LevelPtr []int32 // rows of level l are Rows[LevelPtr[l]:LevelPtr[l+1]]
+	Rows     []int32
+}
+
+// NumLevels returns the number of BFS levels.
+func (lp *LevelPartition) NumLevels() int { return len(lp.LevelPtr) - 1 }
+
+// BFSLevels computes the level partition.
+func BFSLevels(a *sparse.CSR) (*LevelPartition, error) {
+	g, err := graph.FromCSRPattern(a)
+	if err != nil {
+		return nil, err
+	}
+	n := g.N
+	level := make([]int32, n)
+	for i := range level {
+		level[i] = -1
+	}
+	maxLevel := int32(-1)
+	queue := make([]int32, 0, n)
+	for start := 0; start < n; start++ {
+		if level[start] >= 0 {
+			continue
+		}
+		level[start] = 0
+		queue = queue[:0]
+		queue = append(queue, int32(start))
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			if level[v] > maxLevel {
+				maxLevel = level[v]
+			}
+			for _, u := range g.Neighbors(int(v)) {
+				if level[u] < 0 {
+					level[u] = level[v] + 1
+					queue = append(queue, u)
+				}
+			}
+		}
+	}
+	nl := int(maxLevel) + 1
+	lp := &LevelPartition{Level: level, LevelPtr: make([]int32, nl+1), Rows: make([]int32, n)}
+	for _, l := range level {
+		lp.LevelPtr[l+1]++
+	}
+	for l := 0; l < nl; l++ {
+		lp.LevelPtr[l+1] += lp.LevelPtr[l]
+	}
+	next := make([]int32, nl)
+	copy(next, lp.LevelPtr[:nl])
+	for i, l := range level {
+		lp.Rows[next[l]] = int32(i)
+		next[l]++
+	}
+	return lp, nil
+}
+
+// Validate checks the level property: every entry (i, j) of the matrix
+// connects rows whose levels differ by at most one.
+func (lp *LevelPartition) Validate(a *sparse.CSR) error {
+	for i := 0; i < a.Rows; i++ {
+		cols, _ := a.Row(i)
+		for _, c := range cols {
+			d := lp.Level[i] - lp.Level[c]
+			if d < -1 || d > 1 {
+				return fmt.Errorf("core: entry (%d,%d) spans levels %d and %d",
+					i, c, lp.Level[i], lp.Level[c])
+			}
+		}
+	}
+	return nil
+}
+
+// WavefrontMPK computes A^k x0 with the level-based wavefront
+// schedule: tile (level l, power p) executes at step t = 2p + l, by
+// which time the p-1 values of levels l-1, l, l+1 (steps t-3..t-1) are
+// complete. All k+1 iterate vectors are kept live — the working-set
+// cost the paper contrasts FBMPK against. onIterate observes each
+// fully completed power.
+func WavefrontMPK(a *sparse.CSR, lp *LevelPartition, x0 []float64, k int, onIterate IterateFunc) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("core: WavefrontMPK: %w", sparse.ErrNotSquare)
+	}
+	if len(x0) != a.Rows {
+		return nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), a.Rows)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+	}
+	nl := lp.NumLevels()
+	x := make([][]float64, k+1)
+	x[0] = sparse.CopyVec(x0)
+	for p := 1; p <= k; p++ {
+		x[p] = make([]float64, a.Rows)
+	}
+	// done[p] counts completed levels of power p, to fire onIterate
+	// exactly when a power finishes.
+	done := make([]int, k+1)
+	for t := 2; t <= 2*k+nl-1; t++ {
+		// Execute tiles (l, p) with 2p + l == t, valid l and p.
+		for p := 1; p <= k; p++ {
+			l := t - 2*p
+			if l < 0 || l >= nl {
+				continue
+			}
+			src, dst := x[p-1], x[p]
+			for _, ri := range lp.Rows[lp.LevelPtr[l]:lp.LevelPtr[l+1]] {
+				i := int(ri)
+				s := 0.0
+				for j := a.RowPtr[i]; j < a.RowPtr[i+1]; j++ {
+					s += a.Val[j] * src[a.ColIdx[j]]
+				}
+				dst[i] = s
+			}
+			done[p]++
+			if done[p] == nl && onIterate != nil {
+				onIterate(p, x[p])
+			}
+		}
+	}
+	return x[k], nil
+}

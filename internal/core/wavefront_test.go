@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fbmpk/internal/sparse"
+)
+
+// bandedMatrix produces a matrix with genuine BFS level structure
+// (random matrices collapse to 2-3 levels, which is a weak test).
+func bandedMatrix(rng *rand.Rand, n, halfBand int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, n*(2*halfBand+1))
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1+rng.Float64())
+		for d := 1; d <= halfBand; d++ {
+			if i-d >= 0 && rng.Float64() < 0.8 {
+				coo.Add(i, i-d, rng.NormFloat64()/4)
+			}
+			if i+d < n && rng.Float64() < 0.8 {
+				coo.Add(i, i+d, rng.NormFloat64()/4)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestBFSLevelsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(80)
+		a := bandedMatrix(rng, n, 1+rng.Intn(3))
+		lp, err := BFSLevels(a)
+		if err != nil {
+			return false
+		}
+		if lp.Validate(a) != nil {
+			return false
+		}
+		// Level partition covers all rows exactly once.
+		seen := make([]bool, n)
+		for _, r := range lp.Rows {
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return int(lp.LevelPtr[lp.NumLevels()]) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBFSLevelsDisconnected(t *testing.T) {
+	// Two components: levels restart per component but share numbering.
+	coo := sparse.NewCOO(6, 6, 10)
+	coo.AddSym(0, 1, 1)
+	coo.AddSym(1, 2, 1)
+	coo.AddSym(3, 4, 1)
+	for i := 0; i < 6; i++ {
+		coo.Add(i, i, 1)
+	}
+	a := coo.ToCSR()
+	lp, err := BFSLevels(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Validate(a); err != nil {
+		t.Error(err)
+	}
+	if lp.Level[5] != 0 {
+		t.Errorf("isolated vertex level = %d, want 0", lp.Level[5])
+	}
+}
+
+func TestWavefrontMPKMatchesStandard(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 6; trial++ {
+		n := 20 + rng.Intn(150)
+		a := bandedMatrix(rng, n, 1+rng.Intn(4))
+		lp, err := BFSLevels(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x0 := randVec(rng, n)
+		for _, k := range []int{1, 2, 5, 8} {
+			want := refMPK(a, x0, k)
+			var iterates int
+			got, err := WavefrontMPK(a, lp, x0, k, func(p int, x []float64) {
+				iterates++
+				if d := sparse.RelMaxDiff(x, refMPK(a, x0, p)); d > 1e-11 {
+					t.Errorf("k=%d iterate %d: diff %g", k, p, d)
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iterates != k {
+				t.Errorf("k=%d: observed %d iterates", k, iterates)
+			}
+			if d := sparse.RelMaxDiff(got, want); d > 1e-11 {
+				t.Fatalf("trial %d k=%d: wavefront diff %g", trial, k, d)
+			}
+		}
+	}
+}
+
+func TestWavefrontMPKErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := bandedMatrix(rng, 10, 1)
+	lp, _ := BFSLevels(a)
+	if _, err := WavefrontMPK(a, lp, make([]float64, 9), 2, nil); err == nil {
+		t.Error("accepted short x0")
+	}
+	if _, err := WavefrontMPK(a, lp, make([]float64, 10), 0, nil); err == nil {
+		t.Error("accepted k=0")
+	}
+	rect := &sparse.CSR{Rows: 2, Cols: 3, RowPtr: []int64{0, 0, 0}}
+	if _, err := WavefrontMPK(rect, lp, make([]float64, 3), 1, nil); err == nil {
+		t.Error("accepted rectangular matrix")
+	}
+}

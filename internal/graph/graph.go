@@ -1,0 +1,216 @@
+// Package graph provides the block-graph construction and greedy
+// distance-1 coloring behind the ABMC reordering (Section III-D).
+// The paper uses the ColPack library for coloring; a greedy sequential
+// coloring with optional largest-degree-first ordering is the same
+// algorithm class ColPack applies for distance-1 problems and produces
+// colorings of comparable quality on the block graphs ABMC builds.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"fbmpk/internal/sparse"
+)
+
+// Adj is an undirected adjacency structure in CSR-like form:
+// neighbors of vertex v are Nbr[Ptr[v]:Ptr[v+1]], sorted ascending,
+// with no self-loops and no duplicates.
+type Adj struct {
+	N   int
+	Ptr []int64
+	Nbr []int32
+}
+
+// Degree returns the degree of vertex v.
+func (g *Adj) Degree(v int) int { return int(g.Ptr[v+1] - g.Ptr[v]) }
+
+// Neighbors returns the (aliased) neighbor slice of vertex v.
+func (g *Adj) Neighbors(v int) []int32 { return g.Nbr[g.Ptr[v]:g.Ptr[v+1]] }
+
+// BlockGraph builds the quotient graph over row blocks: vertices are
+// blocks (block b covers rows blockPtr[b]..blockPtr[b+1]), and two
+// blocks are adjacent when the matrix has any entry (i, j) with i and
+// j in different blocks. The symmetrized pattern of A is used, so the
+// coloring is valid for both the forward (L) and backward (U) sweeps.
+func BlockGraph(a *sparse.CSR, blockPtr []int32) (*Adj, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("graph: BlockGraph needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	nb := len(blockPtr) - 1
+	if nb < 0 || blockPtr[0] != 0 || int(blockPtr[nb]) != a.Rows {
+		return nil, fmt.Errorf("graph: bad block pointer (nb=%d)", nb)
+	}
+	// rowBlock[i] = block containing row i.
+	rowBlock := make([]int32, a.Rows)
+	for b := 0; b < nb; b++ {
+		if blockPtr[b] > blockPtr[b+1] {
+			return nil, fmt.Errorf("graph: block pointer not monotone at %d", b)
+		}
+		for i := blockPtr[b]; i < blockPtr[b+1]; i++ {
+			rowBlock[i] = int32(b)
+		}
+	}
+
+	// Collect block-level edges. Pattern asymmetry is handled by
+	// inserting both directions.
+	type edge struct{ u, v int32 }
+	edges := make(map[edge]struct{}, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		bi := rowBlock[i]
+		cols, _ := a.Row(i)
+		for _, c := range cols {
+			bj := rowBlock[c]
+			if bi == bj {
+				continue
+			}
+			edges[edge{bi, bj}] = struct{}{}
+			edges[edge{bj, bi}] = struct{}{}
+		}
+	}
+
+	g := &Adj{N: nb, Ptr: make([]int64, nb+1)}
+	for e := range edges {
+		g.Ptr[e.u+1]++
+	}
+	for b := 0; b < nb; b++ {
+		g.Ptr[b+1] += g.Ptr[b]
+	}
+	g.Nbr = make([]int32, len(edges))
+	next := make([]int64, nb)
+	copy(next, g.Ptr[:nb])
+	for e := range edges {
+		g.Nbr[next[e.u]] = e.v
+		next[e.u]++
+	}
+	for b := 0; b < nb; b++ {
+		nbrs := g.Nbr[g.Ptr[b]:g.Ptr[b+1]]
+		sort.Slice(nbrs, func(x, y int) bool { return nbrs[x] < nbrs[y] })
+	}
+	return g, nil
+}
+
+// FromCSRPattern builds the row-level adjacency of a square matrix's
+// symmetrized pattern (used by RCM). Self-loops are dropped.
+func FromCSRPattern(a *sparse.CSR) (*Adj, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("graph: FromCSRPattern needs a square matrix")
+	}
+	n := a.Rows
+	t := a.Transpose()
+	g := &Adj{N: n, Ptr: make([]int64, n+1)}
+	// Merge row i of a and t, dropping the diagonal and duplicates.
+	counts := make([]int64, n)
+	merge := func(i int, emit func(int32)) {
+		ca, _ := a.Row(i)
+		cb, _ := t.Row(i)
+		p, q := 0, 0
+		for p < len(ca) || q < len(cb) {
+			var c int32
+			switch {
+			case q >= len(cb) || (p < len(ca) && ca[p] < cb[q]):
+				c = ca[p]
+				p++
+			case p >= len(ca) || cb[q] < ca[p]:
+				c = cb[q]
+				q++
+			default:
+				c = ca[p]
+				p++
+				q++
+			}
+			if int(c) != i {
+				emit(c)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		merge(i, func(int32) { counts[i]++ })
+	}
+	for i := 0; i < n; i++ {
+		g.Ptr[i+1] = g.Ptr[i] + counts[i]
+	}
+	g.Nbr = make([]int32, g.Ptr[n])
+	for i := 0; i < n; i++ {
+		w := g.Ptr[i]
+		merge(i, func(c int32) {
+			g.Nbr[w] = c
+			w++
+		})
+	}
+	return g, nil
+}
+
+// ColorOrder selects the vertex visit order for greedy coloring.
+type ColorOrder int
+
+const (
+	// NaturalOrder visits vertices 0..n-1. For ABMC block graphs this
+	// preserves locality of the original row order.
+	NaturalOrder ColorOrder = iota
+	// LargestDegreeFirst visits high-degree vertices first, typically
+	// reducing the color count on irregular graphs.
+	LargestDegreeFirst
+)
+
+// GreedyColor computes a distance-1 coloring: adjacent vertices get
+// different colors. It returns the color of each vertex and the number
+// of colors used. Colors are compacted to 0..numColors-1.
+func GreedyColor(g *Adj, order ColorOrder) ([]int32, int) {
+	n := g.N
+	color := make([]int32, n)
+	for i := range color {
+		color[i] = -1
+	}
+	visit := make([]int32, n)
+	for i := range visit {
+		visit[i] = int32(i)
+	}
+	if order == LargestDegreeFirst {
+		sort.SliceStable(visit, func(x, y int) bool {
+			return g.Degree(int(visit[x])) > g.Degree(int(visit[y]))
+		})
+	}
+	// forbidden[c] == v marks color c as used by a neighbor of v; the
+	// stamp trick avoids clearing the array each vertex.
+	forbidden := make([]int32, n+1)
+	for i := range forbidden {
+		forbidden[i] = -1
+	}
+	maxColor := int32(-1)
+	for _, v := range visit {
+		for _, u := range g.Neighbors(int(v)) {
+			if c := color[u]; c >= 0 {
+				forbidden[c] = v
+			}
+		}
+		c := int32(0)
+		for forbidden[c] == v {
+			c++
+		}
+		color[v] = c
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+	return color, int(maxColor) + 1
+}
+
+// ValidateColoring checks that no edge connects two same-colored
+// vertices and that colors are in [0, numColors).
+func ValidateColoring(g *Adj, color []int32, numColors int) error {
+	if len(color) != g.N {
+		return fmt.Errorf("graph: color slice length %d, want %d", len(color), g.N)
+	}
+	for v := 0; v < g.N; v++ {
+		if color[v] < 0 || int(color[v]) >= numColors {
+			return fmt.Errorf("graph: vertex %d has color %d out of [0,%d)", v, color[v], numColors)
+		}
+		for _, u := range g.Neighbors(v) {
+			if color[u] == color[v] {
+				return fmt.Errorf("graph: edge (%d,%d) joins two vertices of color %d", v, u, color[v])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+package matgen
+
+import "testing"
+
+func BenchmarkGrid3D(b *testing.B) {
+	p := GridParams{NX: 24, NY: 24, NZ: 24, DOF: 3, Radius: 1,
+		KeepProb: 0.8, Symmetric: true, Periodic: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := Grid(p)
+		b.SetBytes(m.MemoryBytes())
+	}
+}
+
+func BenchmarkDigraph(b *testing.B) {
+	p := DigraphParams{N: 50000, OutDegree: 17, BandFrac: 0.02, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Digraph(p)
+	}
+}
+
+func BenchmarkKKT(b *testing.B) {
+	p := KKTParams{Side: 20, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = KKT(p)
+	}
+}

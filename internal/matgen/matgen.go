@@ -1,0 +1,328 @@
+// Package matgen generates the synthetic evaluation suite.
+//
+// The paper evaluates on 14 SuiteSparse matrices (Table II). Those
+// files are proprietary-by-download (not shippable here), so this
+// package builds synthetic stand-ins matched per matrix on the
+// statistics that drive FBMPK's behaviour: row count, nonzeros per
+// row, symmetry, and structural class (FEM shell / 3D solid FEM with
+// vector degrees of freedom / circuit grid / directed weighted graph /
+// saddle-point KKT system). A scale knob shrinks every matrix
+// isotropically so the full suite runs on a laptop; at scale 1.0 the
+// generators reproduce the paper's row counts.
+//
+// Real .mtx files, when available, can be substituted via
+// internal/mmio; every experiment driver accepts either source.
+package matgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fbmpk/internal/sparse"
+)
+
+// splitmix64 is the deterministic hash behind every random decision in
+// the generators: entry values and thinning choices depend only on
+// (seed, indices), so a matrix is reproducible regardless of
+// construction order or parallelism.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashUnit maps a hash key to (0,1).
+func hashUnit(key uint64) float64 {
+	return float64(splitmix64(key)>>11) / float64(1<<53)
+}
+
+// pairKey builds a symmetric key for an unordered index pair.
+func pairKey(seed uint64, a, b int64) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return splitmix64(seed^uint64(a)*0x9e3779b97f4a7c15) ^ splitmix64(uint64(b)+0x632be59bd9b4e019)
+}
+
+// orderedKey builds a key that distinguishes (a,b) from (b,a), used
+// for unsymmetric values.
+func orderedKey(seed uint64, a, b int64) uint64 {
+	return splitmix64(seed^uint64(a)*0xd1342543de82ef95) + splitmix64(uint64(b)^0x2545f4914f6cdd1d)
+}
+
+// GridParams configures a d-dimensional grid stencil generator with
+// block (vector) degrees of freedom — the FEM-like family that covers
+// 12 of the 14 paper matrices.
+type GridParams struct {
+	NX, NY, NZ int     // grid dimensions; NZ = 1 selects a 2D problem
+	DOF        int     // unknowns per grid node (1 = scalar problem)
+	Radius     int     // stencil radius: 1 = 9-point (2D) / 27-point (3D)
+	KeepProb   float64 // probability an off-diagonal block entry is kept
+	Symmetric  bool    // symmetric values (and SPD-ish diagonal) if true
+	Periodic   bool    // wrap the stencil at grid boundaries
+	Seed       uint64
+}
+
+// Grid generates a stencil matrix on an NX x NY x NZ grid with DOF
+// unknowns per node. Off-diagonal entries within each (2R+1)^d x DOF^2
+// neighborhood block are kept with probability KeepProb, decided by a
+// symmetric hash so the pattern stays structurally symmetric; the
+// diagonal is always present. Symmetric matrices get value-symmetric,
+// diagonally dominant entries (negative off-diagonals, diag = sum of
+// magnitudes + 1, the classic FEM/Laplacian shape); unsymmetric ones
+// get independent values in each triangle. With Periodic set, the
+// stencil wraps at the boundaries, which keeps nnz/row independent of
+// the grid size — the suite generators use this so scaled-down
+// matrices match the paper's Table II densities.
+func Grid(p GridParams) *sparse.CSR {
+	if p.NX < 1 || p.NY < 1 || p.NZ < 1 || p.DOF < 1 || p.Radius < 0 {
+		panic(fmt.Sprintf("matgen: bad grid params %+v", p))
+	}
+	if p.KeepProb <= 0 {
+		p.KeepProb = 1
+	}
+	nodes := p.NX * p.NY * p.NZ
+	n := nodes * p.DOF
+	stencil := 2*p.Radius + 1
+	width := stencil * stencil * p.DOF
+	if p.NZ > 1 {
+		width *= stencil
+	}
+	est := int64(float64(n) * (float64(width)*p.KeepProb + 1))
+
+	rowPtr := make([]int64, n+1)
+	colIdx := make([]int32, 0, est)
+	val := make([]float64, 0, est)
+
+	// wrap maps a stencil coordinate into [0, size); ok reports
+	// whether the neighbor exists (always true when periodic, unless
+	// the wrap would alias the center cell on a degenerate axis).
+	wrap := func(c, size int) (int, bool) {
+		if c >= 0 && c < size {
+			return c, true
+		}
+		if !p.Periodic {
+			return 0, false
+		}
+		c %= size
+		if c < 0 {
+			c += size
+		}
+		return c, true
+	}
+
+	nbBuf := make([]int, 0, stencil*stencil*stencil)
+	rowCols := make([]int32, 0, width+1)
+	node := 0
+	for z := 0; z < p.NZ; z++ {
+		for y := 0; y < p.NY; y++ {
+			for x := 0; x < p.NX; x++ {
+				// Collect distinct neighbor nodes; with periodic wrap
+				// on tiny grids two offsets can alias, so dedupe.
+				nbBuf = nbBuf[:0]
+				for dz := -p.Radius; dz <= p.Radius; dz++ {
+					zz, okz := wrap(z+dz, p.NZ)
+					if !okz {
+						continue
+					}
+					for dy := -p.Radius; dy <= p.Radius; dy++ {
+						yy, oky := wrap(y+dy, p.NY)
+						if !oky {
+							continue
+						}
+						for dx := -p.Radius; dx <= p.Radius; dx++ {
+							xx, okx := wrap(x+dx, p.NX)
+							if !okx {
+								continue
+							}
+							nbBuf = append(nbBuf, (zz*p.NY+yy)*p.NX+xx)
+						}
+					}
+				}
+				sort.Ints(nbBuf)
+				distinct := nbBuf[:0]
+				prev := -1
+				for _, nb := range nbBuf {
+					if nb != prev {
+						distinct = append(distinct, nb)
+						prev = nb
+					}
+				}
+
+				for d := 0; d < p.DOF; d++ {
+					row := int64(node*p.DOF + d)
+					// Neighbors are sorted ascending, so columns come
+					// out sorted too.
+					rowCols = rowCols[:0]
+					for _, nb := range distinct {
+						for d2 := 0; d2 < p.DOF; d2++ {
+							col := int64(nb*p.DOF + d2)
+							if col == row {
+								rowCols = append(rowCols, int32(col))
+								continue
+							}
+							key := pairKey(p.Seed, row, col)
+							if hashUnit(key) < p.KeepProb {
+								rowCols = append(rowCols, int32(col))
+							}
+						}
+					}
+					diagPos := -1
+					var offSum float64
+					for _, c := range rowCols {
+						col := int64(c)
+						if col == row {
+							diagPos = len(val)
+							colIdx = append(colIdx, c)
+							val = append(val, 0) // patched below
+							continue
+						}
+						var v float64
+						if p.Symmetric {
+							v = -(0.25 + hashUnit(pairKey(p.Seed, row, col)^0xabcdef))
+						} else {
+							v = hashUnit(orderedKey(p.Seed, row, col)) - 0.5
+						}
+						colIdx = append(colIdx, c)
+						val = append(val, v)
+						offSum += math.Abs(v)
+					}
+					if p.Symmetric {
+						val[diagPos] = offSum + 1
+					} else {
+						val[diagPos] = offSum + 1 + hashUnit(orderedKey(p.Seed, row, row))
+					}
+					rowPtr[row+1] = int64(len(val))
+				}
+				node++
+			}
+		}
+	}
+	return &sparse.CSR{Rows: n, Cols: n, RowPtr: rowPtr, ColIdx: colIdx, Val: val}
+}
+
+// DigraphParams configures the banded random digraph generator that
+// stands in for the cage family (DNA electrophoresis Markov chains:
+// unsymmetric, banded, positive weights, near-stochastic rows).
+type DigraphParams struct {
+	N         int     // rows
+	OutDegree int     // off-diagonal entries per row (before dedup)
+	BandFrac  float64 // band half-width as a fraction of N
+	Seed      uint64
+}
+
+// Digraph generates an unsymmetric row-(sub)stochastic banded matrix:
+// each row holds a diagonal entry plus OutDegree random neighbors
+// within the band, with positive weights summing to about 1. Spectral
+// radius stays near 1, so high matrix powers neither explode nor
+// vanish — the property that makes cage matrices pleasant MPK inputs.
+func Digraph(p DigraphParams) *sparse.CSR {
+	if p.N < 1 || p.OutDegree < 0 {
+		panic(fmt.Sprintf("matgen: bad digraph params %+v", p))
+	}
+	band := int(p.BandFrac * float64(p.N))
+	if band < 1 {
+		band = 1
+	}
+	coo := sparse.NewCOO(p.N, p.N, p.N*(p.OutDegree+1))
+	for i := 0; i < p.N; i++ {
+		coo.Add(i, i, 0.25)
+		w := 0.75 / float64(p.OutDegree)
+		for k := 0; k < p.OutDegree; k++ {
+			h := splitmix64(p.Seed ^ uint64(i)*2654435761 ^ uint64(k)<<32)
+			off := int(h%uint64(2*band+1)) - band
+			j := i + off
+			if j < 0 {
+				j += p.N
+			}
+			if j >= p.N {
+				j -= p.N
+			}
+			coo.Add(i, j, w*(0.5+hashUnit(h^0x5bd1e995)))
+		}
+	}
+	return coo.ToCSR()
+}
+
+// KKTParams configures the saddle-point generator standing in for the
+// nlpkkt optimization family.
+type KKTParams struct {
+	Side int // primal grid side; the matrix has 2*Side^3 rows
+	Seed uint64
+}
+
+// KKT builds a symmetric indefinite saddle-point matrix
+//
+//	[ H  Aᵀ ]
+//	[ A  0  ]
+//
+// with H a 27-point stencil on a Side^3 grid and A a 13-point
+// primal-dual coupling (7-point plus axial distance-2 neighbors).
+// The dual block has a zero diagonal — stored as explicit zeros in D
+// after the split — which exercises FBMPK's handling of structurally
+// missing pivots. nnz/row lands near nlpkkt120's 27.3.
+func KKT(p KKTParams) *sparse.CSR {
+	if p.Side < 1 {
+		panic("matgen: KKT side must be positive")
+	}
+	s := p.Side
+	m := s * s * s
+	n := 2 * m
+	idx := func(x, y, z int) int { return (z*s+y)*s + x }
+	coo := sparse.NewCOO(n, n, int64ToInt(int64(m)*55))
+	addCoupling := func(i, xx, yy, zz int, w float64) {
+		if xx < 0 || xx >= s || yy < 0 || yy >= s || zz < 0 || zz >= s {
+			return
+		}
+		j := idx(xx, yy, zz)
+		v := w * (0.5 + hashUnit(pairKey(p.Seed^0xA11CE, int64(i), int64(m+j))))
+		coo.Add(m+j, i, v) // A
+		coo.Add(i, m+j, v) // Aᵀ
+	}
+	for z := 0; z < s; z++ {
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				i := idx(x, y, z)
+				// H block: 27-point, diagonally dominant.
+				var offSum float64
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							xx, yy, zz := x+dx, y+dy, z+dz
+							if xx < 0 || xx >= s || yy < 0 || yy >= s || zz < 0 || zz >= s {
+								continue
+							}
+							j := idx(xx, yy, zz)
+							v := -(0.25 + hashUnit(pairKey(p.Seed, int64(i), int64(j))))
+							coo.Add(i, j, v)
+							offSum += math.Abs(v)
+						}
+					}
+				}
+				coo.Add(i, i, offSum+1)
+				// A block: 7-point + axial distance-2 (13 couplings).
+				addCoupling(i, x, y, z, 1.0)
+				for _, d := range [][3]int{
+					{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1},
+					{2, 0, 0}, {-2, 0, 0}, {0, 2, 0}, {0, -2, 0}, {0, 0, 2}, {0, 0, -2},
+				} {
+					addCoupling(i, x+d[0], y+d[1], z+d[2], 0.5)
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func int64ToInt(v int64) int {
+	const maxInt = int64(^uint(0) >> 1)
+	if v > maxInt {
+		panic("matgen: size overflows int")
+	}
+	return int(v)
+}

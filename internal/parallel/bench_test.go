@@ -1,0 +1,34 @@
+package parallel
+
+import "testing"
+
+func BenchmarkPoolRunOverhead(b *testing.B) {
+	p := NewPool(4)
+	defer p.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(func(int) {})
+	}
+}
+
+func BenchmarkBarrierRound(b *testing.B) {
+	const parties = 4
+	p := NewPool(parties)
+	defer p.Close()
+	bar := NewBarrier(parties)
+	b.ResetTimer()
+	p.Run(func(int) {
+		for i := 0; i < b.N; i++ {
+			bar.Wait()
+		}
+	})
+}
+
+func BenchmarkPartitionRows(b *testing.B) {
+	n := 1 << 20
+	w := func(i int) int64 { return int64(i % 97) }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PartitionRows(n, 16, w)
+	}
+}

@@ -1,0 +1,68 @@
+package parallel
+
+// PartitionRows splits rows [0, n) into parts contiguous ranges with
+// roughly equal aggregate weight (typically nonzeros per row), the
+// standard load-balancing for row-parallel SpMV on matrices with
+// skewed row widths. It returns a boundary slice of length parts+1.
+//
+// weight(i) must be non-negative. When total weight is zero the rows
+// are split evenly by count.
+func PartitionRows(n, parts int, weight func(i int) int64) []int {
+	if parts < 1 {
+		parts = 1
+	}
+	bounds := make([]int, parts+1)
+	if n <= 0 {
+		return bounds
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	if total == 0 {
+		for p := 0; p <= parts; p++ {
+			bounds[p] = p * n / parts
+		}
+		return bounds
+	}
+	// Greedy prefix cut: advance each boundary until the running sum
+	// passes p/parts of the total. Keeps every range contiguous and
+	// the imbalance below one max-row weight.
+	var acc int64
+	p := 1
+	for i := 0; i < n && p < parts; i++ {
+		acc += weight(i)
+		for p < parts && acc >= int64(p)*total/int64(parts) {
+			bounds[p] = i + 1
+			p++
+		}
+	}
+	for ; p < parts; p++ {
+		bounds[p] = n
+	}
+	bounds[parts] = n
+	return bounds
+}
+
+// PartitionByPtr builds the weight function for CSR-style row
+// pointers: weight(i) = ptr[i+1] - ptr[i].
+func PartitionByPtr(n, parts int, ptr []int64) []int {
+	return PartitionRows(n, parts, func(i int) int64 { return ptr[i+1] - ptr[i] })
+}
+
+// PartitionBlocks splits nb blocks among parts workers proportionally
+// to block row counts (blockPtr convention as in reorder.ABMCResult):
+// it returns for each worker the contiguous [blockLo, blockHi) range.
+// Used to pre-assign blocks of one color to threads, mirroring the
+// paper's "the number of blocks for each thread task are allocated in
+// advance" (Algorithm 2).
+func PartitionBlocks(blockLo, blockHi, parts int, blockPtr []int32) []int {
+	nb := blockHi - blockLo
+	bounds := PartitionRows(nb, parts, func(b int) int64 {
+		return int64(blockPtr[blockLo+b+1] - blockPtr[blockLo+b])
+	})
+	for i := range bounds {
+		bounds[i] += blockLo
+	}
+	return bounds
+}

@@ -1,0 +1,133 @@
+package reorder
+
+import (
+	"fmt"
+
+	"fbmpk/internal/sparse"
+)
+
+// LevelSet is a level-scheduling partition of rows (Section VII lists
+// level scheduling as an alternative parallelization for FBMPK's
+// Gauss-Seidel-like sweeps): rows within a level have no dependencies
+// among themselves and can run in parallel; levels execute in order.
+type LevelSet struct {
+	LevelPtr []int32 // rows of level l are Rows[LevelPtr[l]:LevelPtr[l+1]]
+	Rows     []int32
+}
+
+// NumLevels returns the number of levels.
+func (ls *LevelSet) NumLevels() int { return len(ls.LevelPtr) - 1 }
+
+// Level returns the (aliased) rows of level l.
+func (ls *LevelSet) Level(l int) []int32 {
+	return ls.Rows[ls.LevelPtr[l]:ls.LevelPtr[l+1]]
+}
+
+// LevelsLower computes the level schedule of a strictly lower
+// triangular matrix: level[i] = 1 + max over entries (i,j) of
+// level[j], computable in one forward pass because j < i.
+func LevelsLower(l *sparse.CSR) (*LevelSet, error) {
+	if l.Rows != l.Cols {
+		return nil, fmt.Errorf("reorder: LevelsLower: %w", sparse.ErrNotSquare)
+	}
+	n := l.Rows
+	level := make([]int32, n)
+	maxLevel := int32(0)
+	for i := 0; i < n; i++ {
+		cols, _ := l.Row(i)
+		lv := int32(0)
+		for _, c := range cols {
+			if int(c) >= i {
+				return nil, fmt.Errorf("reorder: entry (%d,%d) not strictly lower", i, c)
+			}
+			if level[c]+1 > lv {
+				lv = level[c] + 1
+			}
+		}
+		level[i] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	return bucketLevels(level, int(maxLevel)+1), nil
+}
+
+// LevelsUpper computes the level schedule of a strictly upper
+// triangular matrix for the backward sweep: one reverse pass, since
+// every entry (i,j) has j > i.
+func LevelsUpper(u *sparse.CSR) (*LevelSet, error) {
+	if u.Rows != u.Cols {
+		return nil, fmt.Errorf("reorder: LevelsUpper: %w", sparse.ErrNotSquare)
+	}
+	n := u.Rows
+	level := make([]int32, n)
+	maxLevel := int32(0)
+	for i := n - 1; i >= 0; i-- {
+		cols, _ := u.Row(i)
+		lv := int32(0)
+		for _, c := range cols {
+			if int(c) <= i {
+				return nil, fmt.Errorf("reorder: entry (%d,%d) not strictly upper", i, c)
+			}
+			if level[c]+1 > lv {
+				lv = level[c] + 1
+			}
+		}
+		level[i] = lv
+		if lv > maxLevel {
+			maxLevel = lv
+		}
+	}
+	return bucketLevels(level, int(maxLevel)+1), nil
+}
+
+func bucketLevels(level []int32, numLevels int) *LevelSet {
+	ls := &LevelSet{
+		LevelPtr: make([]int32, numLevels+1),
+		Rows:     make([]int32, len(level)),
+	}
+	for _, lv := range level {
+		ls.LevelPtr[lv+1]++
+	}
+	for l := 0; l < numLevels; l++ {
+		ls.LevelPtr[l+1] += ls.LevelPtr[l]
+	}
+	next := make([]int32, numLevels)
+	copy(next, ls.LevelPtr[:numLevels])
+	for i, lv := range level {
+		ls.Rows[next[lv]] = int32(i)
+		next[lv]++
+	}
+	return ls
+}
+
+// Validate checks that the level set is a partition of [0, n) and that
+// no two rows in the same level depend on each other through tri
+// (tri is the triangular matrix the schedule was computed from).
+func (ls *LevelSet) Validate(tri *sparse.CSR) error {
+	n := tri.Rows
+	if len(ls.Rows) != n {
+		return fmt.Errorf("reorder: level set covers %d rows, want %d", len(ls.Rows), n)
+	}
+	rowLevel := make([]int32, n)
+	seen := make([]bool, n)
+	for l := 0; l < ls.NumLevels(); l++ {
+		for _, r := range ls.Level(l) {
+			if seen[r] {
+				return fmt.Errorf("reorder: row %d in two levels", r)
+			}
+			seen[r] = true
+			rowLevel[r] = int32(l)
+		}
+	}
+	for i := 0; i < n; i++ {
+		cols, _ := tri.Row(i)
+		for _, c := range cols {
+			if rowLevel[c] >= rowLevel[i] {
+				return fmt.Errorf("reorder: row %d (level %d) depends on row %d (level %d)",
+					i, rowLevel[i], c, rowLevel[c])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package sparse
+
+// CSC is the compressed sparse column format — the column-major dual
+// of CSR. SpMV over CSC scatters column contributions into y, which
+// writes y irregularly but reads x perfectly sequentially; it is the
+// natural format when the transpose product A^T x is the hot
+// operation. Provided for completeness of the format substrate.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int64
+	RowIdx     []int32
+	Val        []float64
+}
+
+// ToCSC converts CSR to CSC (an explicit transpose of the index
+// structure; values are shared semantics, copied storage).
+func ToCSC(a *CSR) *CSC {
+	t := a.Transpose() // rows of t are columns of a, sorted
+	return &CSC{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		ColPtr: t.RowPtr,
+		RowIdx: t.ColIdx,
+		Val:    t.Val,
+	}
+}
+
+// SpMV computes y = A*x by column scatter.
+func (m *CSC) SpMV(x, y []float64) {
+	if len(x) < m.Cols || len(y) < m.Rows {
+		panic("sparse: CSC SpMV dimension mismatch")
+	}
+	for i := range y[:m.Rows] {
+		y[i] = 0
+	}
+	for j := 0; j < m.Cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			y[m.RowIdx[k]] += m.Val[k] * xj
+		}
+	}
+}
+
+// SpMVTranspose computes y = A^T*x, which over CSC storage is the
+// gather-style (CSR-like) loop.
+func (m *CSC) SpMVTranspose(x, y []float64) {
+	if len(x) < m.Rows || len(y) < m.Cols {
+		panic("sparse: CSC SpMVTranspose dimension mismatch")
+	}
+	for j := 0; j < m.Cols; j++ {
+		s := 0.0
+		for k := m.ColPtr[j]; k < m.ColPtr[j+1]; k++ {
+			s += m.Val[k] * x[m.RowIdx[k]]
+		}
+		y[j] = s
+	}
+}
+
+// MemoryBytes returns the storage footprint.
+func (m *CSC) MemoryBytes() int64 {
+	return int64(len(m.ColPtr))*8 + int64(len(m.RowIdx))*4 + int64(len(m.Val))*8
+}

@@ -1,0 +1,120 @@
+package sparse
+
+// ELLPACK format (Kincaid et al., referenced as the paper's future-work
+// storage direction, Section VII): every row is padded to the same
+// width, columns stored column-major so consecutive rows' k-th entries
+// are adjacent. Rows wider than the chosen width fall back to a CSR
+// remainder ("ELL+CSR hybrid"), which keeps pathological rows from
+// exploding the padding.
+
+// ELL is an ELLPACK/hybrid sparse matrix.
+type ELL struct {
+	Rows, Cols int
+	Width      int       // entries stored per row in the ELL part
+	ColIdx     []int32   // len Rows*Width, column-major: ColIdx[k*Rows+i]
+	Val        []float64 // same layout as ColIdx
+	Rest       *CSR      // overflow entries; nil when none
+}
+
+// pad marks an unused ELL slot. The value slot holds 0 so the kernel
+// can multiply unconditionally; the index points at column 0, which is
+// always in range.
+const ellPad = int32(0)
+
+// ToELL converts a CSR matrix to hybrid ELLPACK with the given row
+// width. width <= 0 selects the mean row width rounded up, the usual
+// heuristic.
+func ToELL(a *CSR, width int) *ELL {
+	if width <= 0 {
+		if a.Rows > 0 {
+			width = int((a.NNZ() + int64(a.Rows) - 1) / int64(a.Rows))
+		}
+		if width == 0 {
+			width = 1
+		}
+	}
+	e := &ELL{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		Width:  width,
+		ColIdx: make([]int32, a.Rows*width),
+		Val:    make([]float64, a.Rows*width),
+	}
+	for i := range e.ColIdx {
+		e.ColIdx[i] = ellPad
+	}
+	var rest *COO
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		n := len(cols)
+		if n > width {
+			if rest == nil {
+				rest = NewCOO(a.Rows, a.Cols, 16)
+			}
+			for k := width; k < n; k++ {
+				rest.Add(i, int(cols[k]), vals[k])
+			}
+			n = width
+		}
+		for k := 0; k < n; k++ {
+			e.ColIdx[k*a.Rows+i] = cols[k]
+			e.Val[k*a.Rows+i] = vals[k]
+		}
+	}
+	if rest != nil {
+		e.Rest = rest.ToCSR()
+	}
+	return e
+}
+
+// SpMV computes y = E*x.
+func (e *ELL) SpMV(x, y []float64) {
+	if len(x) < e.Cols || len(y) < e.Rows {
+		panic("sparse: ELL SpMV dimension mismatch")
+	}
+	for i := 0; i < e.Rows; i++ {
+		y[i] = 0
+	}
+	for k := 0; k < e.Width; k++ {
+		ci := e.ColIdx[k*e.Rows : (k+1)*e.Rows]
+		v := e.Val[k*e.Rows : (k+1)*e.Rows]
+		for i := 0; i < e.Rows; i++ {
+			y[i] += v[i] * x[ci[i]]
+		}
+	}
+	if e.Rest != nil {
+		SpMVAdd(e.Rest, x, y)
+	}
+}
+
+// MemoryBytes returns the storage footprint including padding and the
+// CSR remainder.
+func (e *ELL) MemoryBytes() int64 {
+	b := int64(len(e.ColIdx))*4 + int64(len(e.Val))*8
+	if e.Rest != nil {
+		b += e.Rest.MemoryBytes()
+	}
+	return b
+}
+
+// PaddingRatio returns stored slots / nnz, a measure of ELL padding
+// waste (1.0 = no padding).
+func (e *ELL) PaddingRatio() float64 {
+	nnz := int64(0)
+	for i := range e.Val {
+		if e.Val[i] != 0 || e.ColIdx[i] != ellPad {
+			nnz++
+		}
+	}
+	if e.Rest != nil {
+		nnz += e.Rest.NNZ()
+	}
+	if nnz == 0 {
+		return 1
+	}
+	total := int64(len(e.Val))
+	if e.Rest != nil {
+		total += e.Rest.NNZ()
+	}
+	return float64(total) / float64(nnz)
+}

@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestJacobiScalingUnitDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	a := randomSymCSR(rng, 50, 3)
+	s, err := NewJacobiScaling(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Rows; i++ {
+		if d := s.B.At(i, i); math.Abs(d-1) > 1e-12 {
+			t.Fatalf("scaled diagonal (%d,%d) = %g, want 1", i, i, d)
+		}
+	}
+	if !s.B.IsSymmetric(1e-12) {
+		t.Error("symmetric scaling broke symmetry")
+	}
+}
+
+func TestJacobiScalingSolveRoundTrip(t *testing.T) {
+	// Solve A x = b through the scaled system and verify the mapping.
+	rng := rand.New(rand.NewSource(81))
+	a := randomSymCSR(rng, 30, 2)
+	s, err := NewJacobiScaling(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng, 30)
+	b := make([]float64, 30)
+	SpMV(a, x, b)
+	// In the scaled system, y = D^{1/2} x satisfies B y = D^{-1/2} b.
+	bs := make([]float64, 30)
+	s.ScaleRHS(b, bs)
+	y := make([]float64, 30)
+	for i := range y {
+		y[i] = x[i] / s.InvSqrt[i]
+	}
+	by := make([]float64, 30)
+	SpMV(s.B, y, by)
+	if d := MaxAbsDiff(by, bs); d > 1e-10 {
+		t.Fatalf("scaled system inconsistent by %g", d)
+	}
+	back := make([]float64, 30)
+	s.UnscaleSolution(y, back)
+	if d := MaxAbsDiff(back, x); d > 1e-12 {
+		t.Fatalf("unscale round trip off by %g", d)
+	}
+}
+
+func TestJacobiScalingRejectsBadDiagonal(t *testing.T) {
+	coo := NewCOO(2, 2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, -2)
+	if _, err := NewJacobiScaling(coo.ToCSR()); err == nil {
+		t.Error("accepted negative diagonal")
+	}
+	coo2 := NewCOO(2, 2, 1)
+	coo2.Add(0, 0, 1) // missing (1,1)
+	if _, err := NewJacobiScaling(coo2.ToCSR()); err == nil {
+		t.Error("accepted missing diagonal")
+	}
+	rect := &CSR{Rows: 2, Cols: 3, RowPtr: []int64{0, 0, 0}}
+	if _, err := NewJacobiScaling(rect); err == nil {
+		t.Error("accepted rectangular matrix")
+	}
+}
+
+func TestJacobiScalingDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	a := randomSymCSR(rng, 20, 2)
+	before := a.Clone()
+	if _, err := NewJacobiScaling(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(before) {
+		t.Error("JacobiScaling mutated its input")
+	}
+}

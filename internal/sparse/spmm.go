@@ -1,0 +1,98 @@
+package sparse
+
+// SpMM computes Y = A * X for a block of nv dense vectors stored
+// row-major (X[i*nv+c] is component c of logical vector x_c at row i).
+// One pass over A serves all nv vectors, so the matrix is read once
+// instead of nv times — the multi-vector analogue of the paper's
+// traffic argument, used by block eigensolvers (subspace iteration,
+// block Lanczos).
+func SpMM(a *CSR, x, y []float64, nv int) {
+	if nv < 1 {
+		panic("sparse: SpMM needs nv >= 1")
+	}
+	if len(x) < a.Cols*nv || len(y) < a.Rows*nv {
+		panic("sparse: SpMM dimension mismatch")
+	}
+	rp, ci, v := a.RowPtr, a.ColIdx, a.Val
+	switch nv {
+	case 1:
+		SpMV(a, x, y)
+	case 2:
+		for i := 0; i < a.Rows; i++ {
+			var s0, s1 float64
+			for k := rp[i]; k < rp[i+1]; k++ {
+				c := int(ci[k]) * 2
+				s0 += v[k] * x[c]
+				s1 += v[k] * x[c+1]
+			}
+			y[2*i] = s0
+			y[2*i+1] = s1
+		}
+	case 4:
+		for i := 0; i < a.Rows; i++ {
+			var s0, s1, s2, s3 float64
+			for k := rp[i]; k < rp[i+1]; k++ {
+				c := int(ci[k]) * 4
+				s0 += v[k] * x[c]
+				s1 += v[k] * x[c+1]
+				s2 += v[k] * x[c+2]
+				s3 += v[k] * x[c+3]
+			}
+			o := 4 * i
+			y[o] = s0
+			y[o+1] = s1
+			y[o+2] = s2
+			y[o+3] = s3
+		}
+	default:
+		sums := make([]float64, nv)
+		for i := 0; i < a.Rows; i++ {
+			for c := range sums {
+				sums[c] = 0
+			}
+			for k := rp[i]; k < rp[i+1]; k++ {
+				xv := x[int(ci[k])*nv : int(ci[k])*nv+nv]
+				val := v[k]
+				for c := range sums {
+					sums[c] += val * xv[c]
+				}
+			}
+			copy(y[i*nv:(i+1)*nv], sums)
+		}
+	}
+}
+
+// PackVectors interleaves nv column vectors (each length n) into the
+// row-major block layout SpMM consumes.
+func PackVectors(cols [][]float64) []float64 {
+	nv := len(cols)
+	if nv == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	out := make([]float64, n*nv)
+	for c, col := range cols {
+		if len(col) != n {
+			panic("sparse: PackVectors ragged input")
+		}
+		for i, v := range col {
+			out[i*nv+c] = v
+		}
+	}
+	return out
+}
+
+// UnpackVectors splits a row-major block back into nv column vectors.
+func UnpackVectors(block []float64, n, nv int) [][]float64 {
+	if len(block) != n*nv {
+		panic("sparse: UnpackVectors dimension mismatch")
+	}
+	cols := make([][]float64, nv)
+	for c := range cols {
+		cols[c] = make([]float64, n)
+		for i := 0; i < n; i++ {
+			cols[c][i] = block[i*nv+c]
+		}
+	}
+	return cols
+}

@@ -1,0 +1,135 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"fbmpk"
+)
+
+// GMRES solves A x = b for general (unsymmetric) matrices with
+// restarted GMRES(m): Arnoldi builds an orthonormal Krylov basis (each
+// A-application through the plan's pipeline), the least-squares
+// problem is solved with Givens rotations, and the method restarts
+// every m steps. This covers the unsymmetric suite matrices (cage14,
+// ML_Geer) that CG cannot handle.
+func GMRES(p *fbmpk.Plan, b []float64, restart int, tol float64, maxIter int) (*CGResult, error) {
+	n := len(b)
+	if n != p.N() {
+		return nil, fmt.Errorf("solver: GMRES: b length %d != n %d", n, p.N())
+	}
+	if restart < 1 {
+		return nil, fmt.Errorf("solver: GMRES: restart=%d must be >= 1", restart)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("solver: GMRES: maxIter=%d must be >= 1", maxIter)
+	}
+	bnorm := norm2(b)
+	x := make([]float64, n)
+	res := &CGResult{X: x, Residuals: []float64{bnorm}}
+	if bnorm == 0 {
+		res.Residuals[0] = 0
+		return res, nil
+	}
+
+	total := 0
+	for total < maxIter {
+		// r = b - A x.
+		ax, err := apply(p, x)
+		if err != nil {
+			return nil, err
+		}
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = b[i] - ax[i]
+		}
+		beta := norm2(r)
+		if beta <= tol*bnorm {
+			return res, nil
+		}
+		m := restart
+		if rem := maxIter - total; rem < m {
+			m = rem
+		}
+		// Arnoldi with modified Gram-Schmidt.
+		v := make([][]float64, 1, m+1)
+		v[0] = r
+		for i := range v[0] {
+			v[0][i] /= beta
+		}
+		h := make([][]float64, m) // h[j] has j+2 entries
+		// Givens rotations and the transformed RHS g.
+		cs := make([]float64, m)
+		sn := make([]float64, m)
+		g := make([]float64, m+1)
+		g[0] = beta
+		steps := 0
+		for j := 0; j < m; j++ {
+			w, err := apply(p, v[j])
+			if err != nil {
+				return nil, err
+			}
+			h[j] = make([]float64, j+2)
+			for i := 0; i <= j; i++ {
+				h[j][i] = dot(v[i], w)
+				axpy(-h[j][i], v[i], w)
+			}
+			h[j][j+1] = norm2(w)
+			// Apply previous rotations to the new column.
+			for i := 0; i < j; i++ {
+				t := cs[i]*h[j][i] + sn[i]*h[j][i+1]
+				h[j][i+1] = -sn[i]*h[j][i] + cs[i]*h[j][i+1]
+				h[j][i] = t
+			}
+			// New rotation eliminating h[j][j+1].
+			denom := math.Hypot(h[j][j], h[j][j+1])
+			if denom == 0 {
+				cs[j], sn[j] = 1, 0
+			} else {
+				cs[j] = h[j][j] / denom
+				sn[j] = h[j][j+1] / denom
+			}
+			h[j][j] = cs[j]*h[j][j] + sn[j]*h[j][j+1]
+			h[j][j+1] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+			steps = j + 1
+			total++
+			res.Iterations = total
+			res.Residuals = append(res.Residuals, math.Abs(g[j+1]))
+			if math.Abs(g[j+1]) <= tol*bnorm {
+				break
+			}
+			if j < m-1 {
+				nw := norm2(w)
+				if nw == 0 {
+					break // lucky breakdown: solution lies in this space
+				}
+				for i := range w {
+					w[i] /= nw
+				}
+				v = append(v, w)
+			}
+		}
+		// Back-substitute y from the triangularized H and update x.
+		y := make([]float64, steps)
+		for i := steps - 1; i >= 0; i-- {
+			s := g[i]
+			for k := i + 1; k < steps; k++ {
+				s -= h[k][i] * y[k]
+			}
+			if h[i][i] == 0 {
+				return res, fmt.Errorf("solver: GMRES: %w (singular Hessenberg)", ErrBreakdown)
+			}
+			y[i] = s / h[i][i]
+		}
+		for i := 0; i < steps; i++ {
+			axpy(y[i], v[i], x)
+		}
+		if res.Residuals[len(res.Residuals)-1] <= tol*bnorm {
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("solver: GMRES after %d iterations, residual %g: %w",
+		res.Iterations, res.Residuals[len(res.Residuals)-1]/bnorm, ErrNotConverged)
+}

@@ -1,0 +1,147 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"fbmpk"
+)
+
+// LanczosResult holds the symmetric tridiagonalization A ~ V T V^T:
+// Alpha are T's diagonal entries, Beta its off-diagonals
+// (len(Beta) = len(Alpha)-1), and V the orthonormal Lanczos vectors.
+type LanczosResult struct {
+	Alpha []float64
+	Beta  []float64
+	V     [][]float64
+}
+
+// Lanczos runs m steps of the symmetric Lanczos iteration with full
+// reorthogonalization (stable for the modest m eigenvalue workloads
+// use). Early breakdown (invariant subspace found) truncates the
+// result without error. Every matrix application routes through the
+// plan's MPK pipeline — the eigensolver use case of refs [16]-[19].
+func Lanczos(p *fbmpk.Plan, x0 []float64, m int) (*LanczosResult, error) {
+	n := p.N()
+	if len(x0) != n {
+		return nil, fmt.Errorf("solver: Lanczos: x0 length %d != n %d", len(x0), n)
+	}
+	if m < 1 {
+		return nil, fmt.Errorf("solver: Lanczos: m=%d must be >= 1", m)
+	}
+	v := append([]float64(nil), x0...)
+	nrm := norm2(v)
+	if nrm == 0 {
+		return nil, fmt.Errorf("solver: Lanczos: %w (zero start vector)", ErrBreakdown)
+	}
+	for i := range v {
+		v[i] /= nrm
+	}
+	res := &LanczosResult{V: [][]float64{v}}
+	var beta float64
+	var vPrev []float64
+	for j := 0; j < m; j++ {
+		w, err := apply(p, res.V[j])
+		if err != nil {
+			return nil, err
+		}
+		if vPrev != nil {
+			axpy(-beta, vPrev, w)
+		}
+		alpha := dot(res.V[j], w)
+		axpy(-alpha, res.V[j], w)
+		// Full reorthogonalization against all previous vectors.
+		for _, q := range res.V {
+			axpy(-dot(q, w), q, w)
+		}
+		res.Alpha = append(res.Alpha, alpha)
+		beta = norm2(w)
+		if beta < 1e-12*(math.Abs(alpha)+1) {
+			return res, nil // invariant subspace: clean termination
+		}
+		if j == m-1 {
+			break
+		}
+		for i := range w {
+			w[i] /= beta
+		}
+		res.Beta = append(res.Beta, beta)
+		vPrev = res.V[j]
+		res.V = append(res.V, w)
+	}
+	return res, nil
+}
+
+// Eigenvalues returns the eigenvalues of the tridiagonal matrix T
+// (Ritz values approximating A's spectrum), computed by bisection on
+// the Sturm sequence — dependency-free and robust for the small m
+// Lanczos produces.
+func (r *LanczosResult) Eigenvalues() []float64 {
+	m := len(r.Alpha)
+	if m == 0 {
+		return nil
+	}
+	// Gershgorin interval for T.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < m; i++ {
+		rad := 0.0
+		if i > 0 {
+			rad += math.Abs(r.Beta[i-1])
+		}
+		if i < m-1 {
+			rad += math.Abs(r.Beta[i])
+		}
+		lo = math.Min(lo, r.Alpha[i]-rad)
+		hi = math.Max(hi, r.Alpha[i]+rad)
+	}
+	// countBelow(x) = number of eigenvalues of T strictly below x,
+	// from the Sturm sequence of the LDL^T pivots.
+	const tiny = 1e-300
+	countBelow := func(x float64) int {
+		count := 0
+		d := 1.0
+		for i := 0; i < m; i++ {
+			b2 := 0.0
+			if i > 0 {
+				b2 = r.Beta[i-1] * r.Beta[i-1]
+			}
+			if math.Abs(d) < tiny {
+				d = -tiny // standard Sturm safeguard against zero pivots
+			}
+			d = r.Alpha[i] - x - b2/d
+			if d < 0 {
+				count++
+			}
+		}
+		return count
+	}
+	eigs := make([]float64, m)
+	for k := 0; k < m; k++ {
+		a, b := lo, hi
+		for iter := 0; iter < 200 && b-a > 1e-13*(math.Abs(a)+math.Abs(b)+1); iter++ {
+			mid := (a + b) / 2
+			if countBelow(mid) <= k {
+				a = mid
+			} else {
+				b = mid
+			}
+		}
+		eigs[k] = (a + b) / 2
+	}
+	return eigs
+}
+
+// ExtremalEigenvalues estimates lambda_min and lambda_max of a
+// symmetric matrix from an m-step Lanczos run — the practical way to
+// obtain the Chebyshev interval when Gershgorin is too loose.
+func ExtremalEigenvalues(p *fbmpk.Plan, x0 []float64, m int) (lo, hi float64, err error) {
+	r, err := Lanczos(p, x0, m)
+	if err != nil {
+		return 0, 0, err
+	}
+	eigs := r.Eigenvalues()
+	if len(eigs) == 0 {
+		return 0, 0, fmt.Errorf("solver: ExtremalEigenvalues: %w", ErrBreakdown)
+	}
+	return eigs[0], eigs[len(eigs)-1], nil
+}

@@ -1,0 +1,207 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"fbmpk"
+)
+
+// SubspaceResult reports a subspace (orthogonal/simultaneous)
+// iteration run.
+type SubspaceResult struct {
+	// Lambdas are the Ritz values, descending by magnitude.
+	Lambdas []float64
+	// Vectors are the corresponding orthonormal Ritz vectors.
+	Vectors [][]float64
+	// Iterations is the number of blocked power steps performed.
+	Iterations int
+	// Residual is max over computed pairs of ||A v - lambda v||.
+	Residual float64
+}
+
+// SubspaceIteration computes the p dominant eigenpairs of a symmetric
+// matrix by blocked orthogonal iteration: the block of p vectors
+// advances k powers at a time through the batched MPK path (one matrix
+// pass per power serves the whole block), is re-orthonormalized, and
+// Ritz pairs are extracted by a Rayleigh-Ritz projection. Stops when
+// the max eigen-residual falls below tol*|lambda_max| or after
+// maxBlocks blocked steps (then ErrNotConverged wraps the best
+// estimate).
+func SubspaceIteration(plan *fbmpk.Plan, nPairs, k, maxBlocks int, tol float64, seed uint64) (*SubspaceResult, error) {
+	n := plan.N()
+	if nPairs < 1 || nPairs > n {
+		return nil, fmt.Errorf("solver: SubspaceIteration: nPairs=%d out of range", nPairs)
+	}
+	if k < 1 || maxBlocks < 1 {
+		return nil, fmt.Errorf("solver: SubspaceIteration needs k >= 1 and maxBlocks >= 1")
+	}
+	// Deterministic pseudo-random start block.
+	block := make([][]float64, nPairs)
+	s := seed*0x9e3779b97f4a7c15 + 1
+	for c := range block {
+		v := make([]float64, n)
+		for i := range v {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v[i] = float64(int64(s%2000)-1000) / 1000
+		}
+		block[c] = v
+	}
+	if err := orthonormalize(block); err != nil {
+		return nil, err
+	}
+
+	res := &SubspaceResult{}
+	for it := 0; it < maxBlocks; it++ {
+		adv, err := plan.MPKBatch(block, k)
+		if err != nil {
+			return nil, err
+		}
+		block = adv
+		if err := orthonormalize(block); err != nil {
+			return res, fmt.Errorf("solver: SubspaceIteration: %w", err)
+		}
+		res.Iterations = it + 1
+
+		// Rayleigh-Ritz: B = Q^T A Q (p x p), eigendecompose by Jacobi.
+		aq := make([][]float64, nPairs)
+		for c := range block {
+			av, err := plan.MPK(block[c], 1)
+			if err != nil {
+				return nil, err
+			}
+			aq[c] = av
+		}
+		b := make([][]float64, nPairs)
+		for i := range b {
+			b[i] = make([]float64, nPairs)
+			for j := range b[i] {
+				b[i][j] = dot(block[i], aq[j])
+			}
+		}
+		lambdas, vecs := jacobiEigen(b)
+		// Rotate the block into Ritz vectors: v_j = sum_i Q_i * W_ij.
+		ritz := make([][]float64, nPairs)
+		for j := 0; j < nPairs; j++ {
+			v := make([]float64, n)
+			for i := 0; i < nPairs; i++ {
+				axpy(vecs[i][j], block[i], v)
+			}
+			ritz[j] = v
+		}
+		// Sort descending by |lambda|.
+		order := make([]int, nPairs)
+		for i := range order {
+			order[i] = i
+		}
+		for i := 0; i < nPairs; i++ {
+			for j := i + 1; j < nPairs; j++ {
+				if math.Abs(lambdas[order[j]]) > math.Abs(lambdas[order[i]]) {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		res.Lambdas = res.Lambdas[:0]
+		res.Vectors = res.Vectors[:0]
+		res.Residual = 0
+		for _, oi := range order {
+			res.Lambdas = append(res.Lambdas, lambdas[oi])
+			res.Vectors = append(res.Vectors, ritz[oi])
+			av, err := plan.MPK(ritz[oi], 1)
+			if err != nil {
+				return nil, err
+			}
+			r := 0.0
+			for i := range av {
+				d := av[i] - lambdas[oi]*ritz[oi][i]
+				r += d * d
+			}
+			res.Residual = math.Max(res.Residual, math.Sqrt(r))
+		}
+		if res.Residual <= tol*math.Abs(res.Lambdas[0]) {
+			return res, nil
+		}
+		block = res.Vectors // continue from the Ritz block
+	}
+	return res, fmt.Errorf("solver: SubspaceIteration residual %g after %d steps: %w",
+		res.Residual, res.Iterations, ErrNotConverged)
+}
+
+// orthonormalize runs modified Gram-Schmidt in place; it errors when a
+// vector collapses (rank deficiency).
+func orthonormalize(vs [][]float64) error {
+	for i := range vs {
+		for j := 0; j < i; j++ {
+			axpy(-dot(vs[j], vs[i]), vs[j], vs[i])
+		}
+		nrm := norm2(vs[i])
+		if nrm < 1e-14 {
+			return fmt.Errorf("%w (rank-deficient block at vector %d)", ErrBreakdown, i)
+		}
+		for k := range vs[i] {
+			vs[i][k] /= nrm
+		}
+	}
+	return nil
+}
+
+// jacobiEigen computes the full eigendecomposition of a small
+// symmetric matrix with the classical Jacobi rotation method:
+// returns eigenvalues and the orthogonal matrix W (columns are
+// eigenvectors, W[i][j] = component i of eigenvector j).
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	p := len(a)
+	// Work on a copy.
+	m := make([][]float64, p)
+	w := make([][]float64, p)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		w[i] = make([]float64, p)
+		w[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for i := 0; i < p; i++ {
+			for j := i + 1; j < p; j++ {
+				if m[i][j] == 0 {
+					continue
+				}
+				theta := (m[j][j] - m[i][i]) / (2 * m[i][j])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				sn := t * c
+				for k := 0; k < p; k++ {
+					mik, mjk := m[i][k], m[j][k]
+					m[i][k] = c*mik - sn*mjk
+					m[j][k] = sn*mik + c*mjk
+				}
+				for k := 0; k < p; k++ {
+					mki, mkj := m[k][i], m[k][j]
+					m[k][i] = c*mki - sn*mkj
+					m[k][j] = sn*mki + c*mkj
+					wki, wkj := w[k][i], w[k][j]
+					w[k][i] = c*wki - sn*wkj
+					w[k][j] = sn*wki + c*wkj
+				}
+			}
+		}
+	}
+	eigs := make([]float64, p)
+	for i := range eigs {
+		eigs[i] = m[i][i]
+	}
+	return eigs, w
+}
