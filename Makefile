@@ -1,0 +1,10 @@
+.PHONY: verify test bench
+
+verify:
+	./ci.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem .

@@ -262,6 +262,48 @@ func BenchmarkFig12(b *testing.B) {
 	}
 }
 
+// BenchmarkFBMulti is the batched multi-RHS headline: m=4 batched FBMPK
+// versus 4 independent FBMPK runs on the largest suite matrix
+// (Flan_1565, the biggest nnz in Table II). The bytes_per_spmv metric
+// is the bandwidth model: matrix bytes read per SpMV application —
+// (k+1)/(2k) of the matrix per vector for single-vector FBMPK, divided
+// by m when batched.
+func BenchmarkFBMulti(b *testing.B) {
+	const k, m = 5, 4
+	mtx := benchMatrix(b, "Flan_1565")
+	xs := make([][]float64, m)
+	for j := range xs {
+		xs[j] = benchVec(mtx.Rows)
+		xs[j][j] += 1 // decorrelate the right-hand sides
+	}
+	p, err := NewPlan(mtx, DefaultOptions(runtime.GOMAXPROCS(0)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	readsPerSpMV := float64(mtx.MemoryBytes()) * float64(k+1) / (2 * float64(k))
+	b.Run("batched_m4", func(b *testing.B) {
+		b.SetBytes(mtx.MemoryBytes() * int64(k) * int64(m))
+		b.ReportMetric(readsPerSpMV/float64(m), "bytes_per_spmv")
+		for i := 0; i < b.N; i++ {
+			if _, err := p.MPKMulti(xs, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("independent_x4", func(b *testing.B) {
+		b.SetBytes(mtx.MemoryBytes() * int64(k) * int64(m))
+		b.ReportMetric(readsPerSpMV, "bytes_per_spmv")
+		for i := 0; i < b.N; i++ {
+			for j := range xs {
+				if _, err := p.MPK(xs[j], k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkSpMVKernel is the microbenchmark for the shared SpMV kernel
 // both engines build on (the paper's "heavily optimized" baseline).
 func BenchmarkSpMVKernel(b *testing.B) {

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Repo verification: vet, build, full test suite, and a short -race pass
+# over the concurrent engines (worker pool, barrier, parallel FBMPK and
+# its batched multi-RHS executor).
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/parallel/ -count 1
+go test -race ./internal/core/ -run 'Parallel|Multi' -count 1

@@ -30,6 +30,7 @@ func main() {
 		runs     = flag.Int("runs", 10, "timing repetitions per kernel (paper uses 50)")
 		threads  = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		k        = flag.Int("k", 5, "MPK power for single-k experiments")
+		rhs      = flag.Int("rhs", 4, "right-hand-side block width for multi-RHS experiments")
 		matrices = flag.String("matrices", "", "comma-separated matrix subset (default: all 14)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		list     = flag.Bool("list", false, "list experiments and exit")
@@ -49,6 +50,7 @@ func main() {
 		Runs:    *runs,
 		Threads: *threads,
 		K:       *k,
+		RHS:     *rhs,
 		CSV:     *csv,
 	}
 	if *matrices != "" {

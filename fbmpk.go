@@ -109,6 +109,33 @@ func SSpMV(a *Matrix, coeffs, x0 []float64, opt Options) ([]float64, error) {
 	return p.SSpMV(coeffs, x0)
 }
 
+// RunMulti computes A^k x_j for a block of m right-hand sides with a
+// one-shot plan, batched through the multi-vector FBMPK pipeline: one
+// sweep of L/U advances all m vectors, so each matrix read serves 2*m
+// SpMV applications (asymptotically 1/(2m) reads of A per SpMV). For
+// repeated invocations on the same matrix build a Plan once and call
+// Plan.MPKMulti.
+func RunMulti(a *Matrix, xs [][]float64, k int, opt Options) ([][]float64, error) {
+	p, err := NewPlan(a, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	return p.MPKMulti(xs, k)
+}
+
+// SSpMVMulti computes combo_j = sum coeffs[i] * A^i * x_j for every
+// vector of the block with a one-shot plan (the same coefficients apply
+// to every right-hand side). See Plan.SSpMVMulti.
+func SSpMVMulti(a *Matrix, coeffs []float64, xs [][]float64, opt Options) ([][]float64, error) {
+	p, err := NewPlan(a, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Close()
+	return p.SSpMVMulti(coeffs, xs)
+}
+
 // StandardMPK runs the serial Algorithm 1 baseline (k SpMV sweeps).
 func StandardMPK(a *Matrix, x0 []float64, k int) ([]float64, error) {
 	return core.StandardMPK(a, x0, k, nil)

@@ -203,6 +203,9 @@ type Config struct {
 	Matrices []string
 	// K is the MPK power for single-k experiments (0 = paper's 5).
 	K int
+	// RHS is the right-hand-side block width for the batched multi-RHS
+	// experiments (0 = 4).
+	RHS int
 	// CSV switches the output format.
 	CSV bool
 }
@@ -220,6 +223,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.K <= 0 {
 		c.K = 5
+	}
+	if c.RHS <= 0 {
+		c.RHS = 4
 	}
 	if c.Seed == 0 {
 		c.Seed = 1

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fbmpk/internal/core"
+)
+
+// MultiRHS compares m independent FBMPK runs against one batched
+// multi-RHS run across the suite. Besides wall-clock speedup it reports
+// the bandwidth model the batching is built on: the effective bytes of
+// matrix read per SpMV application. A plain CSR sweep reads A once per
+// SpMV; single-vector FBMPK reads it (k+1)/(2k) times; the batched
+// pipeline divides that by the block width m, approaching 1/(2m)
+// asymptotically in k.
+func MultiRHS(w io.Writer, cfg Config) error {
+	cfg = cfg.Normalize()
+	specs, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	m := cfg.RHS
+	t := &Table{
+		Title: fmt.Sprintf("Multi-RHS: batched FBMPK vs %d independent runs (k=%d, threads=%d, scale=%g)",
+			m, cfg.K, cfg.Threads, cfg.Scale),
+		Header: []string{"input", "independent", "batched", "speedup",
+			"MB/SpMV indep", "MB/SpMV batched"},
+	}
+	var speedups []float64
+	for _, s := range specs {
+		mat := s.Generate(cfg.Scale, cfg.Seed)
+		xs := make([][]float64, m)
+		for j := range xs {
+			xs[j] = detVec(mat.Rows, cfg.Seed+uint64(j))
+		}
+		p, err := core.NewPlan(mat, core.DefaultOptions(cfg.Threads))
+		if err != nil {
+			return err
+		}
+		ti := Measure(cfg.Runs, func() {
+			for j := range xs {
+				if _, err := p.MPK(xs[j], cfg.K); err != nil {
+					panic(err)
+				}
+			}
+		})
+		tb := Measure(cfg.Runs, func() {
+			if _, err := p.MPKMulti(xs, cfg.K); err != nil {
+				panic(err)
+			}
+		})
+		p.Close()
+		sp := float64(ti.GeoMean) / float64(tb.GeoMean)
+		speedups = append(speedups, sp)
+		// Matrix bytes read per SpMV application: the FB pipeline reads A
+		// (k+1)/2 times per k powers; batching divides by m.
+		readsPerSpMV := float64(cfg.K+1) / (2 * float64(cfg.K))
+		mb := float64(mat.MemoryBytes()) / (1 << 20)
+		t.AddRow(s.Name, ti.GeoMean.String(), tb.GeoMean.String(), f2(sp),
+			f2(mb*readsPerSpMV), f2(mb*readsPerSpMV/float64(m)))
+	}
+	t.AddRow("average", "", "", f2(GeoMean(speedups)), "", "")
+	t.AddNote("MB/SpMV is the bandwidth model (matrix bytes per SpMV application), not a measurement")
+	return cfg.Emit(w, t)
+}

@@ -32,6 +32,7 @@ func Registry() []Experiment {
 		{"abl-formats", "Ablation: CSR vs ELL vs SELL vs BSR vs CSC SpMV", AblationFormats},
 		{"abl-parallel", "Ablation: ABMC colors vs level scheduling", AblationParallelism},
 		{"abl-wavefront", "Ablation: FBMPK vs level-based (LB-MPK-style) traffic", AblationWavefront},
+		{"abl-multirhs", "Ablation: batched multi-RHS FBMPK vs m independent runs", MultiRHS},
 	}
 }
 

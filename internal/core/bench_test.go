@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -77,6 +78,82 @@ func BenchmarkFBMPKParallel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, _, err := fb.Run(x0, 5, true, nil); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFBParallelMulti compares one batched m=4 run against 4
+// independent runs of the same executor — the kernel-level version of
+// the multi-RHS amortization claim (the matrix is swept once for all
+// four vectors instead of four times).
+func BenchmarkFBParallelMulti(b *testing.B) {
+	const m, k = 4, 5
+	a := coreBenchMatrix(b)
+	ord, pm, err := reorder.ABMCReorder(a, reorder.ABMCOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tri, err := sparse.Split(pm)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	fb, err := NewFBParallel(tri, ord, pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fbm := NewFBParallelMulti(fb)
+	rng := rand.New(rand.NewSource(3))
+	xs := make([][]float64, m)
+	for j := range xs {
+		xs[j] = randVec(rng, a.Rows)
+	}
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := fbm.Run(xs, k, true, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range xs {
+				if _, _, err := fb.Run(xs[j], k, true, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkFBMPKSerialMulti is the serial layout/width sweep of the
+// batched pipeline.
+func BenchmarkFBMPKSerialMulti(b *testing.B) {
+	const k = 5
+	a := coreBenchMatrix(b)
+	tri, err := sparse.Split(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for _, m := range []int{2, 4, 8} {
+		xs := make([][]float64, m)
+		for j := range xs {
+			xs[j] = randVec(rng, a.Rows)
+		}
+		for _, btb := range []bool{false, true} {
+			name := "sep"
+			if btb {
+				name = "btb"
+			}
+			b.Run(fmt.Sprintf("m=%d/%s", m, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := FBMPKSerialMulti(tri, xs, k, btb, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,649 @@
+package core
+
+import (
+	"fmt"
+
+	"fbmpk/internal/sparse"
+)
+
+// Batched multi-RHS forward-backward pipeline. The FB sweeps amortize
+// matrix reads across the power axis (A is read (k+1)/2 times instead
+// of k); the batched variant amortizes along a second axis, the
+// right-hand sides: one sweep of L/U advances all m vectors, so each
+// matrix read serves 2*m SpMV applications instead of 2. Asymptotically
+// the matrix traffic per SpMV drops to 1/(2m) of a plain CSR sweep.
+//
+// Layouts generalize the single-vector ones by widening every slot to a
+// stripe of m contiguous components:
+//
+//   - separate: two row-major blocks a, b (a[i*m+j] is component of
+//     vector j at row i), alternating even/odd iterates;
+//   - BtB: one block xy with xy[(2i+p)*m + j] interleaving the two live
+//     iterates (parity p) of all m vectors, so the inner loop touches
+//     one contiguous 2m-wide stripe per matrix column.
+//
+// The m = 4 kernels keep both stripes' partial sums in registers (the
+// same 4-way unrolling discipline as sparse.SpMV); other widths
+// accumulate in place through the output stripes.
+
+// fbMultiState carries the batched kernel buffers (all n*m row-major,
+// xy 2*n*m).
+type fbMultiState struct {
+	tmp []float64
+	xy  []float64 // BtB layout (nil for the separate layout)
+	a   []float64 // separate layout: even iterates
+	b   []float64 // separate layout: odd iterates
+	x0b []float64 // packed start block (head SpMM input)
+}
+
+func newFBMultiState(n, m int, btb bool) *fbMultiState {
+	s := &fbMultiState{
+		tmp: make([]float64, n*m),
+		x0b: make([]float64, n*m),
+	}
+	if btb {
+		s.xy = make([]float64, 2*n*m)
+	} else {
+		s.a = make([]float64, n*m)
+		s.b = make([]float64, n*m)
+	}
+	return s
+}
+
+// checkMulti validates the common batched-call arguments and returns
+// (n, m).
+func checkMulti(n int, xs [][]float64, k int, coeffs []float64) (int, int, error) {
+	m := len(xs)
+	if m < 1 {
+		return 0, 0, fmt.Errorf("core: batched MPK needs at least one vector")
+	}
+	for j, x := range xs {
+		if len(x) != n {
+			return 0, 0, fmt.Errorf("core: vector %d length %d != n %d", j, len(x), n)
+		}
+	}
+	if k < 1 {
+		return 0, 0, fmt.Errorf("core: power k=%d must be >= 1", k)
+	}
+	if coeffs != nil && len(coeffs) != k+1 {
+		return 0, 0, fmt.Errorf("core: coeffs length %d != k+1 = %d", len(coeffs), k+1)
+	}
+	return n, m, nil
+}
+
+// FBMPKSerialMulti runs the batched forward-backward MPK on a split
+// matrix: it computes A^k x_j for every vector in xs with one pipeline
+// pass, returning the results as fresh vectors. btb selects the
+// interleaved stripe layout. coeffs, when non-nil (length k+1), also
+// accumulates combo_j = sum coeffs[i] * A^i * x_j for every vector
+// (returned second, else nil).
+func FBMPKSerialMulti(tri *sparse.Triangular, xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
+	n, m, err := checkMulti(tri.N, xs, k, coeffs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m == 1 {
+		// Width-1 stripes degrade to the scalar pipeline; use it.
+		xk, combo, err := FBMPKSerial(tri, xs[0], k, btb, coeffs, nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		xks = [][]float64{xk}
+		if combo != nil {
+			combos = [][]float64{combo}
+		}
+		return xks, combos, nil
+	}
+	st := newFBMultiState(n, m, btb)
+	packBlock(xs, st.x0b, m, 0, n)
+	var cmb []float64
+	if coeffs != nil {
+		cmb = make([]float64, n*m)
+		c0 := coeffs[0]
+		for i, v := range st.x0b {
+			cmb[i] = c0 * v
+		}
+	}
+
+	sparse.SpMMRange(tri.U, st.x0b, st.tmp, m, 0, n) // head
+	if btb {
+		for i := 0; i < n; i++ {
+			copy(st.xy[2*i*m:2*i*m+m], st.x0b[i*m:i*m+m])
+		}
+	} else {
+		copy(st.a, st.x0b)
+	}
+
+	t := 0
+	for t < k {
+		last := t+1 == k
+		if btb {
+			fbForwardBtBMultiRange(tri, st.xy, st.tmp, m, 0, n, last)
+		} else {
+			fbForwardSepMultiRange(tri, st.a, st.b, st.tmp, m, 0, n, last)
+		}
+		t++
+		if cmb != nil && coeffs[t] != 0 {
+			if btb {
+				accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 1, 0, n)
+			} else {
+				accumulateMultiSep(cmb, st.b, coeffs[t], m, 0, n)
+			}
+		}
+		if t == k {
+			break
+		}
+		last = t+1 == k
+		if btb {
+			fbBackwardBtBMultiRange(tri, st.xy, st.tmp, m, 0, n, last)
+		} else {
+			fbBackwardSepMultiRange(tri, st.a, st.b, st.tmp, m, 0, n, last)
+		}
+		t++
+		if cmb != nil && coeffs[t] != 0 {
+			if btb {
+				accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 0, 0, n)
+			} else {
+				accumulateMultiSep(cmb, st.a, coeffs[t], m, 0, n)
+			}
+		}
+	}
+	xks = st.unpackResult(n, m, k, btb)
+	if cmb != nil {
+		combos = sparse.UnpackVectors(cmb, n, m)
+	}
+	return xks, combos, nil
+}
+
+// unpackResult extracts A^k x_j for every vector from the live iterate.
+func (s *fbMultiState) unpackResult(n, m, k int, btb bool) [][]float64 {
+	odd := k%2 == 1
+	out := make([][]float64, m)
+	for j := range out {
+		out[j] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		var stripe []float64
+		switch {
+		case btb && odd:
+			stripe = s.xy[(2*i+1)*m : (2*i+1)*m+m]
+		case btb:
+			stripe = s.xy[2*i*m : 2*i*m+m]
+		case odd:
+			stripe = s.b[i*m : i*m+m]
+		default:
+			stripe = s.a[i*m : i*m+m]
+		}
+		for j := range out {
+			out[j][i] = stripe[j]
+		}
+	}
+	return out
+}
+
+// packBlock gathers rows [lo, hi) of the m column vectors into the
+// row-major block dst.
+func packBlock(xs [][]float64, dst []float64, m, lo, hi int) {
+	for j, x := range xs {
+		for i := lo; i < hi; i++ {
+			dst[i*m+j] = x[i]
+		}
+	}
+}
+
+// accumulateMultiSep adds c times rows [lo, hi) of the row-major block
+// src to the combo block.
+func accumulateMultiSep(cmb, src []float64, c float64, m, lo, hi int) {
+	for i := lo * m; i < hi*m; i++ {
+		cmb[i] += c * src[i]
+	}
+}
+
+// accumulateMultiBtB adds c times the parity-p stripes of xy over rows
+// [lo, hi) to the combo block.
+func accumulateMultiBtB(cmb, xy []float64, c float64, m, p, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ci := cmb[i*m : i*m+m : i*m+m]
+		si := xy[(2*i+p)*m : (2*i+p)*m+m]
+		for j := range ci {
+			ci[j] += c * si[j]
+		}
+	}
+}
+
+// fbForwardBtBMultiRange is the batched forward sweep over L with the
+// BtB stripe layout for rows [lo, hi): completes the next iterate in
+// the odd stripes from the even stripes and, unless last, leaves
+// tmp = (L + D) * x_next for the backward sweep — for all m vectors in
+// one pass over L.
+func fbForwardBtBMultiRange(tri *sparse.Triangular, xy, tmp []float64, m, lo, hi int, last bool) {
+	rp, ci, v := tri.L.RowPtr, tri.L.ColIdx, tri.L.Val
+	d := tri.D
+	if m == 4 {
+		fbForwardBtBMulti4Range(rp, ci, v, d, xy, tmp, lo, hi, last)
+		return
+	}
+	if last {
+		for i := lo; i < hi; i++ {
+			eb := 2 * i * m
+			even := xy[eb : eb+m]
+			odd := xy[eb+m : eb+2*m : eb+2*m]
+			ti := tmp[i*m : i*m+m]
+			di := d[i]
+			for c := range odd {
+				odd[c] = ti[c] + di*even[c]
+			}
+			for j := rp[i]; j < rp[i+1]; j++ {
+				cb := 2 * int(ci[j]) * m
+				xe := xy[cb : cb+m]
+				vj := v[j]
+				for c := range odd {
+					odd[c] += vj * xe[c]
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		eb := 2 * i * m
+		even := xy[eb : eb+m]
+		odd := xy[eb+m : eb+2*m : eb+2*m]
+		ti := tmp[i*m : i*m+m : i*m+m]
+		di := d[i]
+		for c := range odd {
+			odd[c] = ti[c] + di*even[c]
+			ti[c] = 0
+		}
+		for j := rp[i]; j < rp[i+1]; j++ {
+			cb := 2 * int(ci[j]) * m
+			xe := xy[cb : cb+m]
+			xo := xy[cb+m : cb+2*m]
+			vj := v[j]
+			for c := range odd {
+				odd[c] += vj * xe[c]
+				ti[c] += vj * xo[c]
+			}
+		}
+		for c := range odd {
+			ti[c] += di * odd[c]
+		}
+	}
+}
+
+// fbForwardBtBMulti4Range is the register-blocked m = 4 forward sweep.
+// Stripe accesses go through fixed-length windows (xy[cb:cb+8:cb+8]) so
+// a single slice check covers the whole stripe — see
+// internal/sparse/spmv.go for the idiom.
+func fbForwardBtBMulti4Range(rp []int64, ci []int32, v, d, xy, tmp []float64, lo, hi int, last bool) {
+	if last {
+		for i := lo; i < hi; i++ {
+			ib := 8 * i
+			xi := xy[ib : ib+8 : ib+8]
+			ti := tmp[4*i : 4*i+4 : 4*i+4]
+			di := d[i]
+			s0 := ti[0] + di*xi[0]
+			s1 := ti[1] + di*xi[1]
+			s2 := ti[2] + di*xi[2]
+			s3 := ti[3] + di*xi[3]
+			cr := ci[rp[i]:rp[i+1]]
+			vr := v[rp[i]:rp[i+1]]
+			vr = vr[:len(cr)]
+			for k := 0; k < len(cr); k++ {
+				cb := 8 * int(cr[k])
+				w := xy[cb : cb+4 : cb+4]
+				vj := vr[k]
+				s0 += vj * w[0]
+				s1 += vj * w[1]
+				s2 += vj * w[2]
+				s3 += vj * w[3]
+			}
+			xi[4], xi[5], xi[6], xi[7] = s0, s1, s2, s3
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		ib := 8 * i
+		xi := xy[ib : ib+8 : ib+8]
+		ti := tmp[4*i : 4*i+4 : 4*i+4]
+		di := d[i]
+		s0 := ti[0] + di*xi[0]
+		s1 := ti[1] + di*xi[1]
+		s2 := ti[2] + di*xi[2]
+		s3 := ti[3] + di*xi[3]
+		var u0, u1, u2, u3 float64
+		cr := ci[rp[i]:rp[i+1]]
+		vr := v[rp[i]:rp[i+1]]
+		vr = vr[:len(cr)]
+		for k := 0; k < len(cr); k++ {
+			cb := 8 * int(cr[k])
+			w := xy[cb : cb+8 : cb+8]
+			vj := vr[k]
+			s0 += vj * w[0]
+			s1 += vj * w[1]
+			s2 += vj * w[2]
+			s3 += vj * w[3]
+			u0 += vj * w[4]
+			u1 += vj * w[5]
+			u2 += vj * w[6]
+			u3 += vj * w[7]
+		}
+		xi[4], xi[5], xi[6], xi[7] = s0, s1, s2, s3
+		ti[0] = u0 + di*s0
+		ti[1] = u1 + di*s1
+		ti[2] = u2 + di*s2
+		ti[3] = u3 + di*s3
+	}
+}
+
+// fbBackwardBtBMultiRange is the batched backward sweep over U:
+// completes the next iterate in the even stripes from the odd stripes,
+// bottom-up, and unless last leaves tmp = U * x_next.
+func fbBackwardBtBMultiRange(tri *sparse.Triangular, xy, tmp []float64, m, lo, hi int, last bool) {
+	rp, ci, v := tri.U.RowPtr, tri.U.ColIdx, tri.U.Val
+	if m == 4 {
+		fbBackwardBtBMulti4Range(rp, ci, v, xy, tmp, lo, hi, last)
+		return
+	}
+	if last {
+		for i := hi - 1; i >= lo; i-- {
+			eb := 2 * i * m
+			even := xy[eb : eb+m : eb+m]
+			ti := tmp[i*m : i*m+m]
+			copy(even, ti)
+			for j := rp[i]; j < rp[i+1]; j++ {
+				cb := 2 * int(ci[j]) * m
+				xo := xy[cb+m : cb+2*m]
+				vj := v[j]
+				for c := range even {
+					even[c] += vj * xo[c]
+				}
+			}
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		eb := 2 * i * m
+		even := xy[eb : eb+m : eb+m]
+		ti := tmp[i*m : i*m+m : i*m+m]
+		copy(even, ti)
+		for c := range ti {
+			ti[c] = 0
+		}
+		for j := rp[i]; j < rp[i+1]; j++ {
+			cb := 2 * int(ci[j]) * m
+			xe := xy[cb : cb+m]
+			xo := xy[cb+m : cb+2*m]
+			vj := v[j]
+			for c := range even {
+				even[c] += vj * xo[c]
+				ti[c] += vj * xe[c]
+			}
+		}
+	}
+}
+
+// fbBackwardBtBMulti4Range is the register-blocked m = 4 backward sweep.
+func fbBackwardBtBMulti4Range(rp []int64, ci []int32, v, xy, tmp []float64, lo, hi int, last bool) {
+	if last {
+		for i := hi - 1; i >= lo; i-- {
+			ti := tmp[4*i : 4*i+4 : 4*i+4]
+			s0, s1, s2, s3 := ti[0], ti[1], ti[2], ti[3]
+			cr := ci[rp[i]:rp[i+1]]
+			vr := v[rp[i]:rp[i+1]]
+			vr = vr[:len(cr)]
+			for k := 0; k < len(cr); k++ {
+				cb := 8 * int(cr[k])
+				w := xy[cb+4 : cb+8 : cb+8]
+				vj := vr[k]
+				s0 += vj * w[0]
+				s1 += vj * w[1]
+				s2 += vj * w[2]
+				s3 += vj * w[3]
+			}
+			ib := 8 * i
+			xi := xy[ib : ib+4 : ib+4]
+			xi[0], xi[1], xi[2], xi[3] = s0, s1, s2, s3
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		ti := tmp[4*i : 4*i+4 : 4*i+4]
+		s0, s1, s2, s3 := ti[0], ti[1], ti[2], ti[3]
+		var u0, u1, u2, u3 float64
+		cr := ci[rp[i]:rp[i+1]]
+		vr := v[rp[i]:rp[i+1]]
+		vr = vr[:len(cr)]
+		for k := 0; k < len(cr); k++ {
+			cb := 8 * int(cr[k])
+			w := xy[cb : cb+8 : cb+8]
+			vj := vr[k]
+			s0 += vj * w[4]
+			s1 += vj * w[5]
+			s2 += vj * w[6]
+			s3 += vj * w[7]
+			u0 += vj * w[0]
+			u1 += vj * w[1]
+			u2 += vj * w[2]
+			u3 += vj * w[3]
+		}
+		ib := 8 * i
+		xi := xy[ib : ib+4 : ib+4]
+		xi[0], xi[1], xi[2], xi[3] = s0, s1, s2, s3
+		ti[0], ti[1], ti[2], ti[3] = u0, u1, u2, u3
+	}
+}
+
+// fbForwardSepMultiRange is the batched forward sweep with separate
+// row-major blocks: xprev holds x_t, xnext receives x_{t+1}.
+func fbForwardSepMultiRange(tri *sparse.Triangular, xprev, xnext, tmp []float64, m, lo, hi int, last bool) {
+	rp, ci, v := tri.L.RowPtr, tri.L.ColIdx, tri.L.Val
+	d := tri.D
+	if m == 4 {
+		fbForwardSepMulti4Range(rp, ci, v, d, xprev, xnext, tmp, lo, hi, last)
+		return
+	}
+	if last {
+		for i := lo; i < hi; i++ {
+			xi := xprev[i*m : i*m+m]
+			ni := xnext[i*m : i*m+m : i*m+m]
+			ti := tmp[i*m : i*m+m]
+			di := d[i]
+			for c := range ni {
+				ni[c] = ti[c] + di*xi[c]
+			}
+			for j := rp[i]; j < rp[i+1]; j++ {
+				xv := xprev[int(ci[j])*m : int(ci[j])*m+m]
+				vj := v[j]
+				for c := range ni {
+					ni[c] += vj * xv[c]
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		xi := xprev[i*m : i*m+m]
+		ni := xnext[i*m : i*m+m : i*m+m]
+		ti := tmp[i*m : i*m+m : i*m+m]
+		di := d[i]
+		for c := range ni {
+			ni[c] = ti[c] + di*xi[c]
+			ti[c] = 0
+		}
+		for j := rp[i]; j < rp[i+1]; j++ {
+			cb := int(ci[j]) * m
+			xv := xprev[cb : cb+m]
+			nv := xnext[cb : cb+m]
+			vj := v[j]
+			for c := range ni {
+				ni[c] += vj * xv[c]
+				ti[c] += vj * nv[c]
+			}
+		}
+		for c := range ni {
+			ti[c] += di * ni[c]
+		}
+	}
+}
+
+// fbForwardSepMulti4Range is the register-blocked m = 4 separate-layout
+// forward sweep.
+func fbForwardSepMulti4Range(rp []int64, ci []int32, v, d, xprev, xnext, tmp []float64, lo, hi int, last bool) {
+	if last {
+		for i := lo; i < hi; i++ {
+			o := 4 * i
+			xi := xprev[o : o+4 : o+4]
+			ti := tmp[o : o+4 : o+4]
+			di := d[i]
+			s0 := ti[0] + di*xi[0]
+			s1 := ti[1] + di*xi[1]
+			s2 := ti[2] + di*xi[2]
+			s3 := ti[3] + di*xi[3]
+			cr := ci[rp[i]:rp[i+1]]
+			vr := v[rp[i]:rp[i+1]]
+			vr = vr[:len(cr)]
+			for k := 0; k < len(cr); k++ {
+				cb := 4 * int(cr[k])
+				xp := xprev[cb : cb+4 : cb+4]
+				vj := vr[k]
+				s0 += vj * xp[0]
+				s1 += vj * xp[1]
+				s2 += vj * xp[2]
+				s3 += vj * xp[3]
+			}
+			ni := xnext[o : o+4 : o+4]
+			ni[0], ni[1], ni[2], ni[3] = s0, s1, s2, s3
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		o := 4 * i
+		xi := xprev[o : o+4 : o+4]
+		ti := tmp[o : o+4 : o+4]
+		di := d[i]
+		s0 := ti[0] + di*xi[0]
+		s1 := ti[1] + di*xi[1]
+		s2 := ti[2] + di*xi[2]
+		s3 := ti[3] + di*xi[3]
+		var u0, u1, u2, u3 float64
+		cr := ci[rp[i]:rp[i+1]]
+		vr := v[rp[i]:rp[i+1]]
+		vr = vr[:len(cr)]
+		for k := 0; k < len(cr); k++ {
+			cb := 4 * int(cr[k])
+			xp := xprev[cb : cb+4 : cb+4]
+			xn := xnext[cb : cb+4 : cb+4]
+			vj := vr[k]
+			s0 += vj * xp[0]
+			s1 += vj * xp[1]
+			s2 += vj * xp[2]
+			s3 += vj * xp[3]
+			u0 += vj * xn[0]
+			u1 += vj * xn[1]
+			u2 += vj * xn[2]
+			u3 += vj * xn[3]
+		}
+		ni := xnext[o : o+4 : o+4]
+		ni[0], ni[1], ni[2], ni[3] = s0, s1, s2, s3
+		ti[0] = u0 + di*s0
+		ti[1] = u1 + di*s1
+		ti[2] = u2 + di*s2
+		ti[3] = u3 + di*s3
+	}
+}
+
+// fbBackwardSepMultiRange is the batched backward sweep with separate
+// blocks: xprev holds x_t (the odd iterate), xnext receives x_{t+1}.
+func fbBackwardSepMultiRange(tri *sparse.Triangular, xnext, xprev, tmp []float64, m, lo, hi int, last bool) {
+	rp, ci, v := tri.U.RowPtr, tri.U.ColIdx, tri.U.Val
+	if m == 4 {
+		fbBackwardSepMulti4Range(rp, ci, v, xnext, xprev, tmp, lo, hi, last)
+		return
+	}
+	if last {
+		for i := hi - 1; i >= lo; i-- {
+			ni := xnext[i*m : i*m+m : i*m+m]
+			ti := tmp[i*m : i*m+m]
+			copy(ni, ti)
+			for j := rp[i]; j < rp[i+1]; j++ {
+				xv := xprev[int(ci[j])*m : int(ci[j])*m+m]
+				vj := v[j]
+				for c := range ni {
+					ni[c] += vj * xv[c]
+				}
+			}
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		ni := xnext[i*m : i*m+m : i*m+m]
+		ti := tmp[i*m : i*m+m : i*m+m]
+		copy(ni, ti)
+		for c := range ti {
+			ti[c] = 0
+		}
+		for j := rp[i]; j < rp[i+1]; j++ {
+			cb := int(ci[j]) * m
+			xv := xprev[cb : cb+m]
+			nv := xnext[cb : cb+m]
+			vj := v[j]
+			for c := range ni {
+				ni[c] += vj * xv[c]
+				ti[c] += vj * nv[c]
+			}
+		}
+	}
+}
+
+// fbBackwardSepMulti4Range is the register-blocked m = 4 separate-layout
+// backward sweep.
+func fbBackwardSepMulti4Range(rp []int64, ci []int32, v, xnext, xprev, tmp []float64, lo, hi int, last bool) {
+	if last {
+		for i := hi - 1; i >= lo; i-- {
+			o := 4 * i
+			ti := tmp[o : o+4 : o+4]
+			s0, s1, s2, s3 := ti[0], ti[1], ti[2], ti[3]
+			cr := ci[rp[i]:rp[i+1]]
+			vr := v[rp[i]:rp[i+1]]
+			vr = vr[:len(cr)]
+			for k := 0; k < len(cr); k++ {
+				cb := 4 * int(cr[k])
+				xp := xprev[cb : cb+4 : cb+4]
+				vj := vr[k]
+				s0 += vj * xp[0]
+				s1 += vj * xp[1]
+				s2 += vj * xp[2]
+				s3 += vj * xp[3]
+			}
+			ni := xnext[o : o+4 : o+4]
+			ni[0], ni[1], ni[2], ni[3] = s0, s1, s2, s3
+		}
+		return
+	}
+	for i := hi - 1; i >= lo; i-- {
+		o := 4 * i
+		ti := tmp[o : o+4 : o+4]
+		s0, s1, s2, s3 := ti[0], ti[1], ti[2], ti[3]
+		var u0, u1, u2, u3 float64
+		cr := ci[rp[i]:rp[i+1]]
+		vr := v[rp[i]:rp[i+1]]
+		vr = vr[:len(cr)]
+		for k := 0; k < len(cr); k++ {
+			cb := 4 * int(cr[k])
+			xp := xprev[cb : cb+4 : cb+4]
+			xn := xnext[cb : cb+4 : cb+4]
+			vj := vr[k]
+			s0 += vj * xp[0]
+			s1 += vj * xp[1]
+			s2 += vj * xp[2]
+			s3 += vj * xp[3]
+			u0 += vj * xn[0]
+			u1 += vj * xn[1]
+			u2 += vj * xn[2]
+			u3 += vj * xn[3]
+		}
+		ni := xnext[o : o+4 : o+4]
+		ni[0], ni[1], ni[2], ni[3] = s0, s1, s2, s3
+		ti[0], ti[1], ti[2], ti[3] = u0, u1, u2, u3
+	}
+}

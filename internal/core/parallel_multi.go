@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fbmpk/internal/parallel"
+	"fbmpk/internal/reorder"
+	"fbmpk/internal/sparse"
+)
+
+// FBParallelMulti executes the batched multi-RHS forward-backward
+// pipeline in parallel over an ABMC-ordered matrix. It reuses the color
+// schedule, worker pool, barrier, and row partitions of an FBParallel —
+// the dependency structure is identical, every slot is just m stripes
+// wide — so building one on top of an existing executor costs nothing
+// beyond the struct.
+type FBParallelMulti struct {
+	fb *FBParallel
+}
+
+// NewFBParallelMulti wraps a prepared FBParallel for batched execution.
+func NewFBParallelMulti(fb *FBParallel) *FBParallelMulti {
+	return &FBParallelMulti{fb: fb}
+}
+
+// NewFBParallelMultiFrom prepares a batched executor directly from the
+// split matrix, ordering, and pool (convenience over NewFBParallel +
+// NewFBParallelMulti).
+func NewFBParallelMultiFrom(tri *sparse.Triangular, ord *reorder.ABMCResult, pool *parallel.Pool) (*FBParallelMulti, error) {
+	fb, err := NewFBParallel(tri, ord, pool)
+	if err != nil {
+		return nil, err
+	}
+	return NewFBParallelMulti(fb), nil
+}
+
+// Run computes A^k x_j for every vector in xs (all in the PERMUTED
+// numbering) with one batched pipeline pass: every sweep of L/U
+// advances all m vectors, so each matrix read serves 2*m SpMV
+// applications. btb selects the interleaved stripe layout; coeffs (nil
+// or length k+1) additionally accumulates the SSpMV combination for
+// every vector.
+func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
+	fb := f.fb
+	n, m, err := checkMulti(fb.tri.N, xs, k, coeffs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		xks = make([][]float64, m)
+		for j := range xks {
+			xks[j] = []float64{}
+		}
+		if coeffs != nil {
+			combos = make([][]float64, m)
+			for j := range combos {
+				combos[j] = []float64{}
+			}
+		}
+		return xks, combos, nil
+	}
+	st := newFBMultiState(n, m, btb)
+	var cmb []float64
+	if coeffs != nil {
+		cmb = make([]float64, n*m)
+	}
+	nc := fb.ord.NumColors
+
+	fb.pool.Run(func(id int) {
+		dLo, dHi := fb.denseBounds[id], fb.denseBounds[id+1]
+		// Pack the start block and init the working layout + combo.
+		packBlock(xs, st.x0b, m, dLo, dHi)
+		if btb {
+			for i := dLo; i < dHi; i++ {
+				copy(st.xy[2*i*m:2*i*m+m], st.x0b[i*m:i*m+m])
+			}
+		} else {
+			copy(st.a[dLo*m:dHi*m], st.x0b[dLo*m:dHi*m])
+		}
+		if cmb != nil {
+			c0 := coeffs[0]
+			for i := dLo * m; i < dHi*m; i++ {
+				cmb[i] = c0 * st.x0b[i]
+			}
+		}
+		fb.bar.Wait()
+		// Head: tmp = U * X0 over the nnz-balanced row partition.
+		sparse.SpMMRange(fb.tri.U, st.x0b, st.tmp, m, fb.headBounds[id], fb.headBounds[id+1])
+		fb.bar.Wait()
+
+		t := 0
+		for t < k {
+			last := t+1 == k
+			for c := 0; c < nc; c++ {
+				lo, hi := fb.rowRange(c, id)
+				if btb {
+					fbForwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
+				} else {
+					fbForwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+				}
+				fb.bar.Wait()
+			}
+			t++
+			if cmb != nil && coeffs[t] != 0 {
+				if btb {
+					accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 1, dLo, dHi)
+				} else {
+					accumulateMultiSep(cmb, st.b, coeffs[t], m, dLo, dHi)
+				}
+			}
+			if t == k {
+				break
+			}
+			last = t+1 == k
+			for c := nc - 1; c >= 0; c-- {
+				lo, hi := fb.rowRange(c, id)
+				if btb {
+					fbBackwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
+				} else {
+					fbBackwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+				}
+				fb.bar.Wait()
+			}
+			t++
+			if cmb != nil && coeffs[t] != 0 {
+				if btb {
+					accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 0, dLo, dHi)
+				} else {
+					accumulateMultiSep(cmb, st.a, coeffs[t], m, dLo, dHi)
+				}
+			}
+		}
+	})
+
+	xks = st.unpackResult(n, m, k, btb)
+	if cmb != nil {
+		combos = sparse.UnpackVectors(cmb, n, m)
+	}
+	return xks, combos, nil
+}
+
+// Workers returns the worker count of the underlying executor's pool.
+func (f *FBParallelMulti) Workers() int { return f.fb.pool.Workers() }

@@ -302,6 +302,93 @@ func (p *Plan) MPKBatch(xs [][]float64, k int) ([][]float64, error) {
 	return out, nil
 }
 
+// MPKMulti computes A^k x_j for a block of m start vectors with one
+// batched pipeline pass, returning m fresh vectors in the original row
+// ordering. For forward-backward plans this is the batched FBMPK
+// engine: every sweep of L/U advances all m vectors, so each matrix
+// read serves 2*m SpMV applications (asymptotically 1/(2m) reads of A
+// per SpMV, versus 1 for plain MPK and 1/2 for single-vector FBMPK).
+// Standard-engine plans fall back to the SpMM block path, which
+// amortizes across vectors but not across powers.
+func (p *Plan) MPKMulti(xs [][]float64, k int) ([][]float64, error) {
+	xks, _, err := p.runMulti(xs, k, nil)
+	return xks, err
+}
+
+// SSpMVMulti computes, for every start vector x_j in the block,
+// combo_j = sum_{i=0..len(coeffs)-1} coeffs[i] * A^i * x_j in one
+// batched pipeline pass, returning m fresh vectors in the original row
+// ordering. The same coefficients apply to every vector (the block
+// polynomial-filter case of s-step and block Krylov methods).
+func (p *Plan) SSpMVMulti(coeffs []float64, xs [][]float64) ([][]float64, error) {
+	if len(coeffs) < 2 {
+		// Degenerate polynomial: no matrix pass needed, reuse the
+		// single-vector path per column.
+		out := make([][]float64, len(xs))
+		for j, x := range xs {
+			y, err := SSpMVStandard(p.a, coeffs, x)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = y
+		}
+		return out, nil
+	}
+	_, combos, err := p.runMulti(xs, len(coeffs)-1, coeffs)
+	return combos, err
+}
+
+// runMulti dispatches a batched run to the engine the plan selected,
+// handling the ABMC permutation on both sides.
+func (p *Plan) runMulti(xs [][]float64, k int, coeffs []float64) (xks, combos [][]float64, err error) {
+	if _, _, err := checkMulti(p.n, xs, k, coeffs); err != nil {
+		return nil, nil, err
+	}
+	in := xs
+	if p.ord != nil {
+		in = make([][]float64, len(xs))
+		for j, x := range xs {
+			px := make([]float64, p.n)
+			p.ord.Perm.ApplyVec(x, px)
+			in[j] = px
+		}
+	}
+	switch {
+	case p.opt.Engine == EngineStandard:
+		xks, err = StandardMPKBatch(p.a, in, k)
+		if err == nil && coeffs != nil {
+			combos = make([][]float64, len(in))
+			for j, x := range in {
+				combos[j], err = SSpMVStandard(p.a, coeffs, x)
+				if err != nil {
+					break
+				}
+			}
+		}
+	case p.fb != nil:
+		xks, combos, err = NewFBParallelMulti(p.fb).Run(in, k, p.opt.BtB, coeffs)
+	default:
+		xks, combos, err = FBMPKSerialMulti(p.tri, in, k, p.opt.BtB, coeffs)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.ord != nil {
+		unperm := func(vs [][]float64) {
+			for j, v := range vs {
+				out := make([]float64, p.n)
+				p.ord.Perm.UnapplyVec(v, out)
+				vs[j] = out
+			}
+		}
+		unperm(xks)
+		if combos != nil {
+			unperm(combos)
+		}
+	}
+	return xks, combos, nil
+}
+
 // SSpMV computes sum_{i=0..len(coeffs)-1} coeffs[i] * A^i * x0 in the
 // original row ordering. len(coeffs) must be at least 2 for the FB
 // engine (use a plain AXPY for degree-0 polynomials).

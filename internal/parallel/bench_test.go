@@ -11,11 +11,29 @@ func BenchmarkPoolRunOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkBarrierRound measures one phase crossing of the
+// spin-then-yield barrier — the synchronization cost every FBMPK call
+// pays k * NumColors times.
 func BenchmarkBarrierRound(b *testing.B) {
 	const parties = 4
 	p := NewPool(parties)
 	defer p.Close()
 	bar := NewBarrier(parties)
+	b.ResetTimer()
+	p.Run(func(int) {
+		for i := 0; i < b.N; i++ {
+			bar.Wait()
+		}
+	})
+}
+
+// BenchmarkBarrierRoundCond is the before/after baseline: the previous
+// sync.Cond (futex-wakeup) barrier on the same phase pattern.
+func BenchmarkBarrierRoundCond(b *testing.B) {
+	const parties = 4
+	p := NewPool(parties)
+	defer p.Close()
+	bar := newCondBarrier(parties)
 	b.ResetTimer()
 	p.Run(func(int) {
 		for i := 0; i < b.N; i++ {

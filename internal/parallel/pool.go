@@ -77,47 +77,6 @@ func (p *Pool) Close() {
 	}
 }
 
-// Barrier is a reusable synchronization barrier for a fixed party
-// count. It is sense-reversing over a generation counter, built on
-// sync.Cond: correctness over micro-optimized spinning, which profiles
-// fine at the color counts (5-20) and sweep lengths FBMPK produces.
-type Barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	parties int
-	waiting int
-	gen     uint64
-}
-
-// NewBarrier creates a barrier for the given number of parties.
-func NewBarrier(parties int) *Barrier {
-	if parties < 1 {
-		panic("parallel: barrier needs at least one party")
-	}
-	b := &Barrier{parties: parties}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// Wait blocks until all parties have called Wait, then releases them
-// together. The barrier resets automatically for reuse.
-func (b *Barrier) Wait() {
-	b.mu.Lock()
-	gen := b.gen
-	b.waiting++
-	if b.waiting == b.parties {
-		b.waiting = 0
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
-		return
-	}
-	for gen == b.gen {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
-}
-
 // For runs body(i) for i in [lo, hi) across the pool with static
 // chunking (contiguous equal ranges), the scheduling OpenMP calls
 // "static". Use for loops whose iterations cost about the same.

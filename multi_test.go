@@ -1,0 +1,125 @@
+package fbmpk
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTestBlock(rng *rand.Rand, n, m int) [][]float64 {
+	xs := make([][]float64, m)
+	for j := range xs {
+		xs[j] = make([]float64, n)
+		for i := range xs[j] {
+			xs[j][i] = rng.NormFloat64()
+		}
+	}
+	return xs
+}
+
+func relMaxDiffTest(got, want []float64) float64 {
+	scale := 1 + normInfTest(want)
+	d := 0.0
+	for i := range want {
+		if e := math.Abs(got[i]-want[i]) / scale; e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// TestRunMultiMatchesIndependentSuite checks, across the whole matgen
+// suite, that the batched multi-RHS pipeline matches m independent runs
+// of the scalar pipeline to 1e-12 — for both stripe layouts, both
+// parities of k, and with and without combination coefficients. The
+// batched kernels accumulate each vector's sums in the same order as
+// the scalar pipeline, so agreement is to roundoff noise, not just to
+// iteration accuracy.
+func TestRunMultiMatchesIndependentSuite(t *testing.T) {
+	const m = 3
+	rng := rand.New(rand.NewSource(7))
+	coeffs := []float64{0.3, -1.2, 0.8, 2.1, -0.5, 0.9}
+	for _, name := range SuiteNames() {
+		a, err := GenerateSuiteMatrix(name, 0.002, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := randTestBlock(rng, a.Rows, m)
+		for _, btb := range []bool{false, true} {
+			opt := DefaultOptions(2)
+			opt.BtB = btb
+			p, err := NewPlan(a, opt)
+			if err != nil {
+				t.Fatalf("%s btb=%v: %v", name, btb, err)
+			}
+			for _, k := range []int{4, 5} {
+				got, err := p.MPKMulti(xs, k)
+				if err != nil {
+					t.Fatalf("%s btb=%v k=%d: %v", name, btb, k, err)
+				}
+				for j := 0; j < m; j++ {
+					want, err := p.MPK(xs[j], k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if d := relMaxDiffTest(got[j], want); d > 1e-12 {
+						t.Fatalf("%s btb=%v k=%d vector %d: rel diff %g",
+							name, btb, k, j, d)
+					}
+				}
+			}
+			ys, err := p.SSpMVMulti(coeffs, xs)
+			if err != nil {
+				t.Fatalf("%s btb=%v SSpMVMulti: %v", name, btb, err)
+			}
+			for j := 0; j < m; j++ {
+				want, err := p.SSpMV(coeffs, xs[j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := relMaxDiffTest(ys[j], want); d > 1e-12 {
+					t.Fatalf("%s btb=%v combo vector %d: rel diff %g",
+						name, btb, j, d)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestRunMultiOneShot covers the package-level one-shot wrappers.
+func TestRunMultiOneShot(t *testing.T) {
+	a, err := GenerateSuiteMatrix("cant", 0.002, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	xs := randTestBlock(rng, a.Rows, 4)
+	got, err := RunMulti(a, xs, 3, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range xs {
+		want, err := MPK(a, xs[j], 3, DefaultOptions(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relMaxDiffTest(got[j], want); d > 1e-12 {
+			t.Fatalf("vector %d: rel diff %g", j, d)
+		}
+	}
+	coeffs := []float64{1, 0.5, 0.25}
+	ys, err := SSpMVMulti(a, coeffs, xs, DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range xs {
+		want, err := SSpMV(a, coeffs, xs[j], DefaultOptions(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relMaxDiffTest(ys[j], want); d > 1e-12 {
+			t.Fatalf("combo vector %d: rel diff %g", j, d)
+		}
+	}
+}

@@ -22,12 +22,13 @@ type SubspaceResult struct {
 
 // SubspaceIteration computes the p dominant eigenpairs of a symmetric
 // matrix by blocked orthogonal iteration: the block of p vectors
-// advances k powers at a time through the batched MPK path (one matrix
-// pass per power serves the whole block), is re-orthonormalized, and
-// Ritz pairs are extracted by a Rayleigh-Ritz projection. Stops when
-// the max eigen-residual falls below tol*|lambda_max| or after
-// maxBlocks blocked steps (then ErrNotConverged wraps the best
-// estimate).
+// advances k powers at a time through the batched multi-RHS MPK path
+// (for forward-backward plans every sweep of L/U serves the whole
+// block, so each matrix read covers 2*p SpMV applications), is
+// re-orthonormalized, and Ritz pairs are extracted by a Rayleigh-Ritz
+// projection. Stops when the max eigen-residual falls below
+// tol*|lambda_max| or after maxBlocks blocked steps (then
+// ErrNotConverged wraps the best estimate).
 func SubspaceIteration(plan *fbmpk.Plan, nPairs, k, maxBlocks int, tol float64, seed uint64) (*SubspaceResult, error) {
 	n := plan.N()
 	if nPairs < 1 || nPairs > n {
@@ -55,7 +56,7 @@ func SubspaceIteration(plan *fbmpk.Plan, nPairs, k, maxBlocks int, tol float64, 
 
 	res := &SubspaceResult{}
 	for it := 0; it < maxBlocks; it++ {
-		adv, err := plan.MPKBatch(block, k)
+		adv, err := plan.MPKMulti(block, k)
 		if err != nil {
 			return nil, err
 		}
@@ -66,13 +67,10 @@ func SubspaceIteration(plan *fbmpk.Plan, nPairs, k, maxBlocks int, tol float64, 
 		res.Iterations = it + 1
 
 		// Rayleigh-Ritz: B = Q^T A Q (p x p), eigendecompose by Jacobi.
-		aq := make([][]float64, nPairs)
-		for c := range block {
-			av, err := plan.MPK(block[c], 1)
-			if err != nil {
-				return nil, err
-			}
-			aq[c] = av
+		// One batched pass computes A*Q for the whole block.
+		aq, err := plan.MPKMulti(block, 1)
+		if err != nil {
+			return nil, err
 		}
 		b := make([][]float64, nPairs)
 		for i := range b {
@@ -109,13 +107,16 @@ func SubspaceIteration(plan *fbmpk.Plan, nPairs, k, maxBlocks int, tol float64, 
 		for _, oi := range order {
 			res.Lambdas = append(res.Lambdas, lambdas[oi])
 			res.Vectors = append(res.Vectors, ritz[oi])
-			av, err := plan.MPK(ritz[oi], 1)
-			if err != nil {
-				return nil, err
-			}
+		}
+		// One batched pass computes A*v for all Ritz vectors at once.
+		aritz, err := plan.MPKMulti(res.Vectors, 1)
+		if err != nil {
+			return nil, err
+		}
+		for c, av := range aritz {
 			r := 0.0
 			for i := range av {
-				d := av[i] - lambdas[oi]*ritz[oi][i]
+				d := av[i] - res.Lambdas[c]*res.Vectors[c][i]
 				r += d * d
 			}
 			res.Residual = math.Max(res.Residual, math.Sqrt(r))
