@@ -1,7 +1,11 @@
 #!/bin/sh
-# Repo verification: vet, build, full test suite, and a short -race pass
+# Repo verification: vet, build, full test suite, a short -race pass
 # over the concurrent engines (worker pool, barrier, parallel FBMPK and
-# its batched multi-RHS executor).
+# its batched multi-RHS executor, plus the root differential sweeps),
+# and a fuzz smoke stage that gives every fuzz target a short random
+# exploration budget (-fuzz runs one target per invocation, hence one
+# line per target; seed corpora under testdata/fuzz/ already ran as
+# plain tests in the suite above).
 set -eux
 
 go vet ./...
@@ -9,3 +13,13 @@ go build ./...
 go test ./...
 go test -race ./internal/parallel/ -count 1
 go test -race ./internal/core/ -run 'Parallel|Multi' -count 1
+go test -race -run Differential -count 1 .
+
+FUZZTIME=${FUZZTIME:-10s}
+go test -run '^$' -fuzz '^FuzzDifferentialMPK$'   -fuzztime "$FUZZTIME" .
+go test -run '^$' -fuzz '^FuzzDifferentialSSpMV$' -fuzztime "$FUZZTIME" .
+go test -run '^$' -fuzz '^FuzzDifferentialMulti$' -fuzztime "$FUZZTIME" .
+go test -run '^$' -fuzz '^FuzzDifferentialSymGS$' -fuzztime "$FUZZTIME" .
+go test -run '^$' -fuzz '^FuzzAPIBoundary$'       -fuzztime "$FUZZTIME" .
+go test -run '^$' -fuzz '^FuzzFBMPKEquivalence$'  -fuzztime "$FUZZTIME" ./internal/core
+go test -run '^$' -fuzz '^FuzzRead$'              -fuzztime "$FUZZTIME" ./internal/mmio

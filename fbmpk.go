@@ -44,13 +44,52 @@ import (
 // Matrix is a sparse matrix in CSR format (see Fig 1 of the paper).
 type Matrix = sparse.CSR
 
+// Typed errors returned by the public API on argument misuse. Every
+// fbmpk.* function and Plan.* method validates its inputs and returns
+// an error wrapping one of these sentinels (match with errors.Is)
+// instead of panicking; see the README "Error semantics" section.
+var (
+	// ErrNotSquare reports a rectangular matrix passed where a square
+	// one is required (plans, MPK, SSpMV).
+	ErrNotSquare = sparse.ErrNotSquare
+	// ErrInvalidMatrix reports a nil matrix or one whose CSR arrays
+	// fail structural validation (lengths, monotone row pointers,
+	// sorted in-range column indices).
+	ErrInvalidMatrix = core.ErrInvalidMatrix
+	// ErrDimension reports a vector length that does not match the
+	// matrix dimension.
+	ErrDimension = core.ErrDimension
+	// ErrBadPower reports a requested power k < 1.
+	ErrBadPower = core.ErrBadPower
+	// ErrBadCoeffs reports an empty coefficient slice or one whose
+	// length disagrees with the requested power.
+	ErrBadCoeffs = core.ErrBadCoeffs
+	// ErrEmptyBlock reports a batched (multi-RHS) call with no vectors.
+	ErrEmptyBlock = core.ErrEmptyBlock
+	// ErrBadSweeps reports a SymGS sweep count < 1.
+	ErrBadSweeps = core.ErrBadSweeps
+	// ErrNoSplit reports SymGS on a standard-engine plan, which does
+	// not build the L+D+U split the smoother needs.
+	ErrNoSplit = core.ErrNoSplit
+)
+
 // Triplets accumulates (row, col, value) entries and converts them to
 // a Matrix, summing duplicates.
 type Triplets = sparse.COO
 
 // NewTriplets returns an empty triplet builder for a rows x cols
-// matrix; capHint pre-sizes the buffers.
+// matrix; capHint pre-sizes the buffers. Negative arguments are
+// clamped to zero (a zero-dimensional builder accepts no entries).
 func NewTriplets(rows, cols, capHint int) *Triplets {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	if capHint < 0 {
+		capHint = 0
+	}
 	return sparse.NewCOO(rows, cols, capHint)
 }
 
@@ -138,7 +177,24 @@ func SSpMVMulti(a *Matrix, coeffs []float64, xs [][]float64, opt Options) ([][]f
 
 // StandardMPK runs the serial Algorithm 1 baseline (k SpMV sweeps).
 func StandardMPK(a *Matrix, x0 []float64, k int) ([]float64, error) {
+	if err := validMatrix(a); err != nil {
+		return nil, err
+	}
 	return core.StandardMPK(a, x0, k, nil)
+}
+
+// validMatrix is the package-level error boundary for functions that
+// take a caller-supplied matrix without building a Plan (NewPlan runs
+// the same validation itself): a nil or structurally invalid CSR must
+// surface as a typed error here, not as an index panic inside a kernel.
+func validMatrix(a *Matrix) error {
+	if a == nil {
+		return fmt.Errorf("fbmpk: nil matrix: %w", ErrInvalidMatrix)
+	}
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("fbmpk: %w: %v", ErrInvalidMatrix, err)
+	}
+	return nil
 }
 
 // LoadMatrixMarket reads a MatrixMarket (.mtx) file. Symmetric
@@ -154,6 +210,9 @@ func LoadMatrixMarket(path string) (*Matrix, bool, error) {
 
 // SaveMatrixMarket writes the matrix as "coordinate real general".
 func SaveMatrixMarket(path string, m *Matrix) error {
+	if err := validMatrix(m); err != nil {
+		return err
+	}
 	return mmio.WriteFile(path, m)
 }
 
@@ -180,6 +239,9 @@ func Verify(a *Matrix, x0, got []float64, k int, tol float64) error {
 	want, err := StandardMPK(a, x0, k)
 	if err != nil {
 		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("fbmpk: result length %d != n %d: %w", len(got), len(want), ErrDimension)
 	}
 	if d := sparse.RelMaxDiff(got, want); d > tol {
 		return fmt.Errorf("fbmpk: result differs from baseline by %g (tol %g)", d, tol)

@@ -1,0 +1,121 @@
+// Package check implements invariant validators for the FBMPK
+// pipeline's preprocessing products. The kernels in internal/core trade
+// generality for speed and silently compute garbage when any of these
+// invariants is broken — a malformed CSR, a split that does not
+// reassemble, a permutation that is not a bijection, or an ABMC
+// coloring with a cross-block edge inside one color. The validators
+// here make those failure modes loud: they are called from the
+// differential tests and fuzz targets, and from plan construction when
+// Options.SelfCheck is set.
+//
+// All checks are read-only, allocate at most O(n), and return nil on
+// success or a descriptive error naming the first violation found.
+package check
+
+import (
+	"fmt"
+
+	"fbmpk/internal/reorder"
+	"fbmpk/internal/sparse"
+)
+
+// CSR validates the structural invariants of a CSR matrix: non-nil,
+// consistent array lengths, monotone row pointers, and in-range
+// strictly-ascending column indices per row.
+func CSR(m *sparse.CSR) error {
+	if m == nil {
+		return fmt.Errorf("check: nil matrix")
+	}
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	return nil
+}
+
+// Split validates a triangular decomposition against its source matrix:
+// L strictly lower and U strictly upper with valid CSR structure, and
+// the exact reassembly L + D + U == A. The comparison is semantic, not
+// structural: a diagonal entry absent from A matches a zero in D, so
+// matrices with partially-stored diagonals validate too. Values must
+// match bit-exactly — Split copies, it never rounds.
+func Split(a *sparse.CSR, tri *sparse.Triangular) error {
+	if a == nil || tri == nil {
+		return fmt.Errorf("check: nil split arguments")
+	}
+	if err := tri.Validate(); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	if a.Rows != tri.N || a.Cols != tri.N {
+		return fmt.Errorf("check: split size %d != matrix %dx%d", tri.N, a.Rows, a.Cols)
+	}
+	for i := 0; i < tri.N; i++ {
+		cols, vals := a.Row(i)
+		lc, lv := tri.L.Row(i)
+		uc, uv := tri.U.Row(i)
+		sawDiag := false
+		for k, c := range cols {
+			var got float64
+			switch {
+			case int(c) < i:
+				if len(lc) == 0 || int(lc[0]) != int(c) {
+					return fmt.Errorf("check: L missing entry (%d,%d)", i, c)
+				}
+				got, lc, lv = lv[0], lc[1:], lv[1:]
+			case int(c) > i:
+				if len(uc) == 0 || int(uc[0]) != int(c) {
+					return fmt.Errorf("check: U missing entry (%d,%d)", i, c)
+				}
+				got, uc, uv = uv[0], uc[1:], uv[1:]
+			default:
+				got, sawDiag = tri.D[i], true
+			}
+			if got != vals[k] {
+				return fmt.Errorf("check: split value (%d,%d) = %g, matrix has %g", i, c, got, vals[k])
+			}
+		}
+		if len(lc) != 0 || len(uc) != 0 {
+			return fmt.Errorf("check: split row %d has %d extra entries", i, len(lc)+len(uc))
+		}
+		if !sawDiag && tri.D[i] != 0 {
+			return fmt.Errorf("check: D[%d] = %g but matrix stores no diagonal entry", i, tri.D[i])
+		}
+	}
+	return nil
+}
+
+// Perm validates that p is a bijection on [0, len(p)) and that the
+// gather/scatter pair round-trips: UnapplyVec(ApplyVec(x)) == x.
+func Perm(p reorder.Perm) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	n := len(p)
+	probe := make([]float64, n)
+	for i := range probe {
+		probe[i] = float64(i)
+	}
+	fwd := make([]float64, n)
+	back := make([]float64, n)
+	p.ApplyVec(probe, fwd)
+	p.UnapplyVec(fwd, back)
+	for i := range back {
+		if back[i] != probe[i] {
+			return fmt.Errorf("check: perm round-trip moved element %d to %g", i, back[i])
+		}
+	}
+	return nil
+}
+
+// ABMC validates an ABMC ordering against the PERMUTED matrix b:
+// contiguous monotone block/color structure, a bijective permutation,
+// and color independence — no entry of b joins two different blocks of
+// the same color, the property the color-parallel sweeps rely on.
+func ABMC(ord *reorder.ABMCResult, b *sparse.CSR) error {
+	if ord == nil || b == nil {
+		return fmt.Errorf("check: nil ABMC arguments")
+	}
+	if err := ord.Validate(b); err != nil {
+		return fmt.Errorf("check: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package core
+
+import "errors"
+
+// Typed errors returned by the public entry points (Plan methods and
+// the package-level MPK/SSpMV functions). Callers match them with
+// errors.Is; the wrapping message carries the offending sizes. The
+// public API contract is: argument misuse returns one of these errors,
+// it never panics — panics below this boundary are internal
+// programming errors, not input conditions.
+var (
+	// ErrDimension reports a vector whose length does not match the
+	// plan's matrix dimension, or mismatched vector pairs.
+	ErrDimension = errors.New("dimension mismatch")
+	// ErrBadPower reports a requested power k < 1.
+	ErrBadPower = errors.New("power must be >= 1")
+	// ErrBadCoeffs reports an empty coefficient slice, or one whose
+	// length does not match the requested power.
+	ErrBadCoeffs = errors.New("invalid coefficient slice")
+	// ErrEmptyBlock reports a batched (multi-RHS) call with no vectors.
+	ErrEmptyBlock = errors.New("empty vector block")
+	// ErrInvalidMatrix reports a nil matrix or one that fails CSR
+	// structural validation.
+	ErrInvalidMatrix = errors.New("invalid matrix")
+	// ErrBadSweeps reports a SymGS sweep count < 1.
+	ErrBadSweeps = errors.New("sweep count must be >= 1")
+	// ErrNoSplit reports a SymGS call on a plan built without the
+	// L+D+U split (the standard engine does not construct it).
+	ErrNoSplit = errors.New("no L+D+U split available")
+)

@@ -60,13 +60,13 @@ func newFBState(n int, btb bool) *fbState {
 func FBMPKSerial(tri *sparse.Triangular, x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
 	n := tri.N
 	if len(x0) != n {
-		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), n)
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), n, ErrDimension)
 	}
 	if k < 1 {
-		return nil, nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+		return nil, nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	if coeffs != nil && len(coeffs) != k+1 {
-		return nil, nil, fmt.Errorf("core: coeffs length %d != k+1 = %d", len(coeffs), k+1)
+		return nil, nil, fmt.Errorf("core: coeffs length %d != k+1 = %d: %w", len(coeffs), k+1, ErrBadCoeffs)
 	}
 	st := newFBState(n, btb)
 	if coeffs != nil {

@@ -55,18 +55,18 @@ func newFBMultiState(n, m int, btb bool) *fbMultiState {
 func checkMulti(n int, xs [][]float64, k int, coeffs []float64) (int, int, error) {
 	m := len(xs)
 	if m < 1 {
-		return 0, 0, fmt.Errorf("core: batched MPK needs at least one vector")
+		return 0, 0, fmt.Errorf("core: batched MPK needs at least one vector: %w", ErrEmptyBlock)
 	}
 	for j, x := range xs {
 		if len(x) != n {
-			return 0, 0, fmt.Errorf("core: vector %d length %d != n %d", j, len(x), n)
+			return 0, 0, fmt.Errorf("core: vector %d length %d != n %d: %w", j, len(x), n, ErrDimension)
 		}
 	}
 	if k < 1 {
-		return 0, 0, fmt.Errorf("core: power k=%d must be >= 1", k)
+		return 0, 0, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	if coeffs != nil && len(coeffs) != k+1 {
-		return 0, 0, fmt.Errorf("core: coeffs length %d != k+1 = %d", len(coeffs), k+1)
+		return 0, 0, fmt.Errorf("core: coeffs length %d != k+1 = %d: %w", len(coeffs), k+1, ErrBadCoeffs)
 	}
 	return n, m, nil
 }

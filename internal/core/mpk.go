@@ -26,10 +26,10 @@ func StandardMPK(a *sparse.CSR, x0 []float64, k int, onIterate IterateFunc) ([]f
 		return nil, fmt.Errorf("core: StandardMPK: %w", sparse.ErrNotSquare)
 	}
 	if len(x0) != a.Rows {
-		return nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), a.Rows)
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), a.Rows, ErrDimension)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	x := sparse.CopyVec(x0)
 	y := make([]float64, a.Rows)
@@ -52,10 +52,10 @@ func StandardMPKParallel(a *sparse.CSR, x0 []float64, k int, pool *parallel.Pool
 		return nil, fmt.Errorf("core: StandardMPKParallel: %w", sparse.ErrNotSquare)
 	}
 	if len(x0) != a.Rows {
-		return nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), a.Rows)
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), a.Rows, ErrDimension)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	bounds := parallel.PartitionByPtr(a.Rows, pool.Workers(), a.RowPtr)
 	x := sparse.CopyVec(x0)
@@ -95,14 +95,14 @@ func StandardMPKBatch(a *sparse.CSR, xs [][]float64, k int) ([][]float64, error)
 		return nil, fmt.Errorf("core: StandardMPKBatch: %w", sparse.ErrNotSquare)
 	}
 	if len(xs) == 0 {
-		return nil, fmt.Errorf("core: StandardMPKBatch: empty vector block")
+		return nil, fmt.Errorf("core: StandardMPKBatch: %w", ErrEmptyBlock)
 	}
 	if k < 1 {
-		return nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	for c, x := range xs {
 		if len(x) != a.Rows {
-			return nil, fmt.Errorf("core: vector %d length %d != n %d", c, len(x), a.Rows)
+			return nil, fmt.Errorf("core: vector %d length %d != n %d: %w", c, len(x), a.Rows, ErrDimension)
 		}
 	}
 	nv := len(xs)
@@ -119,7 +119,10 @@ func StandardMPKBatch(a *sparse.CSR, xs [][]float64, k int) ([][]float64, error)
 // the standard engine (k = len(coeffs)-1 SpMV sweeps).
 func SSpMVStandard(a *sparse.CSR, coeffs []float64, x0 []float64) ([]float64, error) {
 	if len(coeffs) == 0 {
-		return nil, fmt.Errorf("core: SSpMV needs at least one coefficient")
+		return nil, fmt.Errorf("core: SSpMV needs at least one coefficient: %w", ErrBadCoeffs)
+	}
+	if len(x0) != a.Rows {
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), a.Rows, ErrDimension)
 	}
 	n := len(x0)
 	y := make([]float64, n)

@@ -34,7 +34,7 @@ type FBParallel struct {
 // it. The pool is borrowed, not owned.
 func NewFBParallel(tri *sparse.Triangular, ord *reorder.ABMCResult, pool *parallel.Pool) (*FBParallel, error) {
 	if tri.N != len(ord.Perm) {
-		return nil, fmt.Errorf("core: matrix size %d != ordering size %d", tri.N, len(ord.Perm))
+		return nil, fmt.Errorf("core: matrix size %d != ordering size %d: %w", tri.N, len(ord.Perm), ErrDimension)
 	}
 	w := pool.Workers()
 	f := &FBParallel{
@@ -72,13 +72,13 @@ func (f *FBParallel) Run(x0 []float64, k int, btb bool, coeffs []float64) (xk, c
 func (f *FBParallel) RunCapture(x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
 	n := f.tri.N
 	if len(x0) != n {
-		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), n)
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), n, ErrDimension)
 	}
 	if k < 1 {
-		return nil, nil, fmt.Errorf("core: power k=%d must be >= 1", k)
+		return nil, nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	if coeffs != nil && len(coeffs) != k+1 {
-		return nil, nil, fmt.Errorf("core: coeffs length %d != k+1 = %d", len(coeffs), k+1)
+		return nil, nil, fmt.Errorf("core: coeffs length %d != k+1 = %d: %w", len(coeffs), k+1, ErrBadCoeffs)
 	}
 	if n == 0 {
 		if coeffs != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"fbmpk/internal/check"
 	"fbmpk/internal/graph"
 	"fbmpk/internal/parallel"
 	"fbmpk/internal/reorder"
@@ -52,6 +53,13 @@ type Options struct {
 	// ABMC's contiguous blocks cover graph-local rows. Helps matrices
 	// whose natural order scatters neighborhoods (no-op without ABMC).
 	PreRCM bool
+	// SelfCheck audits the plan's preprocessing products after
+	// construction — CSR well-formedness of the execution-order matrix,
+	// exact L+D+U reassembly, permutation bijectivity, and ABMC color
+	// independence (see internal/check) — and fails NewPlan if any
+	// invariant is violated. Debug aid: costs one extra pass over the
+	// matrix, nothing per MPK call.
+	SelfCheck bool
 }
 
 // DefaultOptions returns the configuration the paper evaluates as
@@ -97,6 +105,12 @@ type PlanStats struct {
 // NewPlan prepares an executor for the square matrix a. The input
 // matrix is not modified; reordering works on a copy.
 func NewPlan(a *sparse.CSR, opt Options) (*Plan, error) {
+	if a == nil {
+		return nil, fmt.Errorf("core: NewPlan: nil matrix: %w", ErrInvalidMatrix)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("core: NewPlan: %w: %v", ErrInvalidMatrix, err)
+	}
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: NewPlan: %w", sparse.ErrNotSquare)
 	}
@@ -158,7 +172,35 @@ func NewPlan(a *sparse.CSR, opt Options) (*Plan, error) {
 			p.fb = fb
 		}
 	}
+	if opt.SelfCheck {
+		if err := p.audit(); err != nil {
+			p.Close()
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// audit runs the internal/check invariant validators over the plan's
+// preprocessing products.
+func (p *Plan) audit() error {
+	if err := check.CSR(p.a); err != nil {
+		return err
+	}
+	if p.tri != nil {
+		if err := check.Split(p.a, p.tri); err != nil {
+			return err
+		}
+	}
+	if p.ord != nil {
+		if err := check.Perm(p.ord.Perm); err != nil {
+			return err
+		}
+		if err := check.ABMC(p.ord, p.a); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Close releases the plan's worker pool (no-op for serial plans).
@@ -197,10 +239,10 @@ func (p *Plan) MPK(x0 []float64, k int) ([]float64, error) {
 // standard engine). Rows with zero diagonal are skipped.
 func (p *Plan) SymGS(b, x []float64, sweeps int) error {
 	if p.tri == nil {
-		return fmt.Errorf("core: SymGS requires the forward-backward engine (no split available)")
+		return fmt.Errorf("core: SymGS requires the forward-backward engine: %w", ErrNoSplit)
 	}
 	if len(b) != p.n || len(x) != p.n {
-		return fmt.Errorf("core: SymGS dimension mismatch (n=%d, b=%d, x=%d)", p.n, len(b), len(x))
+		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", p.n, len(b), len(x), ErrDimension)
 	}
 	pb, pxv := b, x
 	if p.ord != nil {
@@ -235,7 +277,10 @@ func (p *Plan) SymGS(b, x []float64, sweeps int) error {
 // of Section VI). Memory: allocates (k+1) n-vectors.
 func (p *Plan) MPKAll(x0 []float64, k int) ([][]float64, error) {
 	if len(x0) != p.n {
-		return nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), p.n)
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	out := make([][]float64, k+1)
 	out[0] = sparse.CopyVec(x0)
@@ -281,7 +326,7 @@ func (p *Plan) MPKBatch(xs [][]float64, k int) ([][]float64, error) {
 		in = make([][]float64, len(xs))
 		for c, x := range xs {
 			if len(x) != p.n {
-				return nil, fmt.Errorf("core: vector %d length %d != n %d", c, len(x), p.n)
+				return nil, fmt.Errorf("core: vector %d length %d != n %d: %w", c, len(x), p.n, ErrDimension)
 			}
 			px := make([]float64, p.n)
 			p.ord.Perm.ApplyVec(x, px)
@@ -321,14 +366,26 @@ func (p *Plan) MPKMulti(xs [][]float64, k int) ([][]float64, error) {
 // ordering. The same coefficients apply to every vector (the block
 // polynomial-filter case of s-step and block Krylov methods).
 func (p *Plan) SSpMVMulti(coeffs []float64, xs [][]float64) ([][]float64, error) {
-	if len(coeffs) < 2 {
-		// Degenerate polynomial: no matrix pass needed, reuse the
-		// single-vector path per column.
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("core: SSpMVMulti needs at least one coefficient: %w", ErrBadCoeffs)
+	}
+	if len(coeffs) == 1 {
+		// Degree-0 polynomial: y_j = c0 * x_j is pure scaling, which is
+		// independent of row order — no matrix pass and no permutation
+		// round-trip. (The plan's matrix is in execution order; routing
+		// this through a matrix kernel with original-order vectors would
+		// mix the two numberings.)
+		if len(xs) == 0 {
+			return nil, fmt.Errorf("core: SSpMVMulti: %w", ErrEmptyBlock)
+		}
 		out := make([][]float64, len(xs))
 		for j, x := range xs {
-			y, err := SSpMVStandard(p.a, coeffs, x)
-			if err != nil {
-				return nil, err
+			if len(x) != p.n {
+				return nil, fmt.Errorf("core: vector %d length %d != n %d: %w", j, len(x), p.n, ErrDimension)
+			}
+			y := make([]float64, p.n)
+			for i := range y {
+				y[i] = coeffs[0] * x[i]
 			}
 			out[j] = y
 		}
@@ -393,8 +450,19 @@ func (p *Plan) runMulti(xs [][]float64, k int, coeffs []float64) (xks, combos []
 // original row ordering. len(coeffs) must be at least 2 for the FB
 // engine (use a plain AXPY for degree-0 polynomials).
 func (p *Plan) SSpMV(coeffs, x0 []float64) ([]float64, error) {
-	if len(coeffs) < 2 {
-		return SSpMVStandard(p.a, coeffs, x0) // degenerate; no reorder needed
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("core: SSpMV needs at least one coefficient: %w", ErrBadCoeffs)
+	}
+	if len(x0) != p.n {
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
+	}
+	if len(coeffs) == 1 {
+		// Degree-0: pure scaling, order-independent (see SSpMVMulti).
+		y := make([]float64, p.n)
+		for i := range y {
+			y[i] = coeffs[0] * x0[i]
+		}
+		return y, nil
 	}
 	_, combo, err := p.run(x0, len(coeffs)-1, coeffs)
 	return combo, err
@@ -406,10 +474,10 @@ func (p *Plan) SSpMV(coeffs, x0 []float64) ([]float64, error) {
 // and imaginary combinations accumulated in one pipeline pass.
 func (p *Plan) SSpMVComplex(coeffs []complex128, x0 []float64) (re, im []float64, err error) {
 	if len(coeffs) == 0 {
-		return nil, nil, fmt.Errorf("core: SSpMVComplex needs at least one coefficient")
+		return nil, nil, fmt.Errorf("core: SSpMVComplex needs at least one coefficient: %w", ErrBadCoeffs)
 	}
 	if len(x0) != p.n {
-		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), p.n)
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
 	}
 	re = make([]float64, p.n)
 	im = make([]float64, p.n)
@@ -471,7 +539,7 @@ func (p *Plan) SSpMVComplex(coeffs []complex128, x0 []float64) (re, im []float64
 
 func (p *Plan) run(x0 []float64, k int, coeffs []float64) (xk, combo []float64, err error) {
 	if len(x0) != p.n {
-		return nil, nil, fmt.Errorf("core: x0 length %d != n %d", len(x0), p.n)
+		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
 	}
 	in := x0
 	if p.ord != nil {

@@ -28,10 +28,10 @@ import (
 func SymGSSerial(tri *sparse.Triangular, b, x []float64, sweeps int) error {
 	n := tri.N
 	if len(b) != n || len(x) != n {
-		return fmt.Errorf("core: SymGS dimension mismatch (n=%d, b=%d, x=%d)", n, len(b), len(x))
+		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", n, len(b), len(x), ErrDimension)
 	}
 	if sweeps < 1 {
-		return fmt.Errorf("core: SymGS sweeps=%d must be >= 1", sweeps)
+		return fmt.Errorf("core: SymGS sweeps=%d: %w", sweeps, ErrBadSweeps)
 	}
 	for s := 0; s < sweeps; s++ {
 		symGSForwardRange(tri, b, x, 0, n)
@@ -100,7 +100,7 @@ type SymGSParallel struct {
 // ABMC-ordered split matrix.
 func NewSymGSParallel(tri *sparse.Triangular, ord *reorder.ABMCResult, pool *parallel.Pool) (*SymGSParallel, error) {
 	if tri.N != len(ord.Perm) {
-		return nil, fmt.Errorf("core: matrix size %d != ordering size %d", tri.N, len(ord.Perm))
+		return nil, fmt.Errorf("core: matrix size %d != ordering size %d: %w", tri.N, len(ord.Perm), ErrDimension)
 	}
 	w := pool.Workers()
 	g := &SymGSParallel{
@@ -121,10 +121,10 @@ func NewSymGSParallel(tri *sparse.Triangular, ord *reorder.ABMCResult, pool *par
 func (g *SymGSParallel) Apply(b, x []float64, sweeps int) error {
 	n := g.tri.N
 	if len(b) != n || len(x) != n {
-		return fmt.Errorf("core: SymGS dimension mismatch (n=%d, b=%d, x=%d)", n, len(b), len(x))
+		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", n, len(b), len(x), ErrDimension)
 	}
 	if sweeps < 1 {
-		return fmt.Errorf("core: SymGS sweeps=%d must be >= 1", sweeps)
+		return fmt.Errorf("core: SymGS sweeps=%d: %w", sweeps, ErrBadSweeps)
 	}
 	nc := g.ord.NumColors
 	g.pool.Run(func(id int) {

@@ -66,7 +66,16 @@ func Read(r io.Reader) (*sparse.CSR, *Header, error) {
 		return nil, nil, fmt.Errorf("mmio: bad size line %q", sizeLine)
 	}
 
+	// The header's nnz is untrusted input: cap the preallocation hint so
+	// a bogus huge count can neither overflow the symmetric doubling
+	// below nor demand gigabytes before the first entry fails to parse.
+	// The hint only pre-sizes the builder; real files larger than the
+	// cap still load through append growth.
+	const maxCapHint = 1 << 20
 	capHint := nnz
+	if capHint > maxCapHint {
+		capHint = maxCapHint
+	}
 	if h.Symmetry != "general" {
 		capHint *= 2
 	}
@@ -154,6 +163,11 @@ func parseEntry(t string, h *Header, coo *sparse.COO) error {
 	case "symmetric":
 		coo.AddSym(i, j, v)
 	case "skew-symmetric":
+		// Skew-symmetry forces a zero diagonal (a_ii = -a_ii); a stored
+		// nonzero there contradicts the declared symmetry.
+		if i == j && v != 0 {
+			return fmt.Errorf("nonzero diagonal entry (%d,%d) = %g in skew-symmetric matrix", i+1, j+1, v)
+		}
 		coo.Add(i, j, v)
 		if i != j {
 			coo.Add(j, i, -v)

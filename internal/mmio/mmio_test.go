@@ -186,3 +186,86 @@ func TestDuplicateEntriesSummed(t *testing.T) {
 		t.Errorf("duplicate sum = %g, want 4", m.At(0, 0))
 	}
 }
+
+func TestCRLFLineEndings(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\r\n" +
+		"% a comment\r\n" +
+		"2 2 3\r\n" +
+		"1 1 1.5\r\n" +
+		"2 1 -2\r\n" +
+		"2 2 4\r\n"
+	m, h, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Symmetry != "general" || m.Rows != 2 || m.NNZ() != 3 {
+		t.Fatalf("parsed %v (header %+v)", m, h)
+	}
+	if m.At(1, 0) != -2 || m.At(1, 1) != 4 {
+		t.Fatalf("values lost under CRLF: %v", m.ToDense())
+	}
+}
+
+func TestMissingTrailingNewline(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n2 2 3" // no final \n
+	m, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 2 || m.At(1, 1) != 3 {
+		t.Fatalf("final unterminated entry lost: %v", m.ToDense())
+	}
+}
+
+func TestCommentsInterleavedWithData(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n" +
+		"3 3 3\n" +
+		"1 1 1\n" +
+		"% halfway comment\n" +
+		"\n" +
+		"2 2 2\n" +
+		"%another\n" +
+		"3 3 3\n"
+	m, _, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 || m.At(2, 2) != 3 {
+		t.Fatalf("interleaved comments broke parsing: %v", m.ToDense())
+	}
+}
+
+func TestSkewSymmetricDiagonal(t *testing.T) {
+	// A stored nonzero diagonal contradicts a_ii = -a_ii.
+	bad := "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 2\n2 1 3\n1 1 5\n"
+	if _, _, err := Read(strings.NewReader(bad)); err == nil {
+		t.Fatal("nonzero skew-symmetric diagonal accepted")
+	}
+	// An explicit zero on the diagonal is consistent and stays allowed.
+	ok := "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 2\n2 1 3\n1 1 0\n"
+	m, _, err := Read(strings.NewReader(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != -3 || m.At(1, 0) != 3 {
+		t.Fatalf("skew expansion wrong: %v", m.ToDense())
+	}
+	// Pattern entries carry an implicit value of 1, so a diagonal entry
+	// in a pattern skew file is rejected too.
+	pat := "%%MatrixMarket matrix coordinate pattern skew-symmetric\n2 2 1\n1 1\n"
+	if _, _, err := Read(strings.NewReader(pat)); err == nil {
+		t.Fatal("pattern skew-symmetric diagonal accepted")
+	}
+}
+
+func TestHugeHeaderDoesNotPanicOrAllocate(t *testing.T) {
+	// nnz near MaxInt64: before the capHint clamp this overflowed the
+	// symmetric doubling into a negative make() capacity (panic), or
+	// demanded petabytes for the general case.
+	for _, sym := range []string{"general", "symmetric"} {
+		in := "%%MatrixMarket matrix coordinate real " + sym + "\n3 3 4611686018427387904\n1 1 1\n"
+		if _, _, err := Read(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: truncated huge-nnz file accepted", sym)
+		}
+	}
+}

@@ -103,10 +103,17 @@ func (m *CSR) Validate() error {
 		return fmt.Errorf("sparse: len(ColIdx)=%d len(Val)=%d, want nnz=%d",
 			len(m.ColIdx), len(m.Val), nnz)
 	}
+	// Complete the monotonicity pass before dereferencing any ColIdx
+	// range: a RowPtr that overshoots nnz in the middle and collapses
+	// back by the end passes the length check above, and only the full
+	// pass (anchored at RowPtr[0]=0 and RowPtr[Rows]=nnz) proves every
+	// per-row range lies within the arrays.
 	for i := 0; i < m.Rows; i++ {
 		if m.RowPtr[i] > m.RowPtr[i+1] {
 			return fmt.Errorf("sparse: RowPtr not monotone at row %d", i)
 		}
+	}
+	for i := 0; i < m.Rows; i++ {
 		prev := int32(-1)
 		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
 			c := m.ColIdx[k]

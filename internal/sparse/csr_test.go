@@ -91,6 +91,13 @@ func TestValidateRejectsBadStructures(t *testing.T) {
 			ColIdx: []int32{1, 1}, Val: []float64{1, 2}}},
 		{"nnz mismatch", CSR{Rows: 1, Cols: 3, RowPtr: []int64{0, 3},
 			ColIdx: []int32{0, 1}, Val: []float64{1, 2}}},
+		// Regression (found by FuzzAPIBoundary): RowPtr overshoots nnz
+		// in the middle but collapses back by the last entry, so the
+		// length check passes; Validate used to index ColIdx out of
+		// range (a panic inside the validator) instead of reporting
+		// the non-monotone tail.
+		{"overshoot then collapse", CSR{Rows: 4, Cols: 48,
+			RowPtr: []int64{0, 32, 32, 32, 0}}},
 	}
 	for _, c := range cases {
 		if err := c.m.Validate(); err == nil {
