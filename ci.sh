@@ -14,6 +14,9 @@ go test ./...
 go test -race ./internal/parallel/ -count 1
 go test -race ./internal/core/ -run 'Parallel|Multi' -count 1
 go test -race -run Differential -count 1 .
+# Concurrent-serving contract: shared plan under >= 8 goroutines,
+# cancellation, graceful close, metrics accounting (bounded iterations).
+go test -race -run 'TestConcurrent|TestPlan(Cancellation|Close|Metrics)' -count 1 .
 
 FUZZTIME=${FUZZTIME:-10s}
 go test -run '^$' -fuzz '^FuzzDifferentialMPK$'   -fuzztime "$FUZZTIME" .

@@ -7,6 +7,7 @@
 //	fbmpkbench -exp fig7,fig9 -scale 0.01 -runs 10 -threads 4
 //	fbmpkbench -exp paper            # every paper table/figure
 //	fbmpkbench -exp all -csv         # everything, machine-readable
+//	fbmpkbench -exp serving -metrics # concurrent serving + plan metrics dump
 //	fbmpkbench -list                 # show available experiments
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for
@@ -33,6 +34,7 @@ func main() {
 		rhs      = flag.Int("rhs", 4, "right-hand-side block width for multi-RHS experiments")
 		matrices = flag.String("matrices", "", "comma-separated matrix subset (default: all 14)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		metrics  = flag.Bool("metrics", false, "dump each plan's PlanMetrics snapshot (expvar JSON) after its experiment")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -52,6 +54,7 @@ func main() {
 		K:       *k,
 		RHS:     *rhs,
 		CSV:     *csv,
+		Metrics: *metrics,
 	}
 	if *matrices != "" {
 		cfg.Matrices = splitList(*matrices)

@@ -32,15 +32,16 @@ func main() {
 		maxIter = flag.Int("maxiter", 2000, "iteration budget")
 		degree  = flag.Int("degree", 8, "chebyshev polynomial degree / krylov s")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		metrics = flag.Bool("metrics", false, "print the plan's PlanMetrics snapshot (expvar JSON) after solving")
 	)
 	flag.Parse()
-	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads); err != nil {
+	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int) error {
+func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, metrics bool) error {
 	var (
 		a   *fbmpk.Matrix
 		err error
@@ -57,11 +58,16 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 		return err
 	}
 	fmt.Printf("matrix: %v\n", a)
-	plan, err := fbmpk.NewPlan(a, fbmpk.DefaultOptions(threads))
+	plan, err := fbmpk.NewPlan(a, fbmpk.WithThreads(threads))
 	if err != nil {
 		return err
 	}
 	defer plan.Close()
+	if metrics {
+		// Dump the traffic/time counters accumulated across the whole
+		// solve: every matrix application below runs through this plan.
+		defer func() { fmt.Printf("metrics: %s\n", plan.Metrics()) }()
+	}
 
 	n := a.Rows
 	xStar := make([]float64, n)

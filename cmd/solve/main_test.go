@@ -21,7 +21,7 @@ func TestSolveMethods(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			if err := run("", c.matrix, 0.002, 1, c.method, c.tol, c.maxIter, c.degree, 2); err != nil {
+			if err := run("", c.matrix, 0.002, 1, c.method, c.tol, c.maxIter, c.degree, 2, true); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -31,16 +31,16 @@ func TestSolveMethods(t *testing.T) {
 func TestSolvePowerReportsEvenUnconverged(t *testing.T) {
 	// The power method may not converge in a few iterations; run must
 	// still report the estimate without returning an error.
-	if err := run("", "ldoor", 0.001, 1, "power", 1e-12, 3, 4, 1); err != nil {
+	if err := run("", "ldoor", 0.001, 1, "power", 1e-12, 3, 4, 1, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSolveErrors(t *testing.T) {
-	if err := run("", "", 0.01, 1, "cg", 1e-8, 10, 4, 1); err == nil {
+	if err := run("", "", 0.01, 1, "cg", 1e-8, 10, 4, 1, false); err == nil {
 		t.Error("accepted missing source")
 	}
-	if err := run("", "cant", 0.002, 1, "bogus", 1e-8, 10, 4, 1); err == nil {
+	if err := run("", "cant", 0.002, 1, "bogus", 1e-8, 10, 4, 1, false); err == nil {
 		t.Error("accepted unknown method")
 	}
 }

@@ -17,11 +17,11 @@ import (
 // 1x1 matrices (with and without a stored diagonal) through all plan
 // entry points.
 func TestDegenerateShapes(t *testing.T) {
-	empty := NewTriplets(0, 0, 0).ToCSR()
-	one := NewTriplets(1, 1, 1)
+	empty := mustTriplets(t, 0, 0, 0).ToCSR()
+	one := mustTriplets(t, 1, 1, 1)
 	one.Add(0, 0, 2.5)
 	oneDiag := one.ToCSR()
-	oneEmpty := NewTriplets(1, 1, 0).ToCSR()
+	oneEmpty := mustTriplets(t, 1, 1, 0).ToCSR()
 
 	mats := []struct {
 		name string

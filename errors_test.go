@@ -13,7 +13,7 @@ import (
 
 func validSquare(t *testing.T) *Matrix {
 	t.Helper()
-	tr := NewTriplets(4, 4, 8)
+	tr := mustTriplets(t, 4, 4, 8)
 	for i := 0; i < 4; i++ {
 		tr.Add(i, i, 2)
 		if i > 0 {
@@ -28,7 +28,7 @@ func TestNewPlanRejectsBadMatrices(t *testing.T) {
 		t.Errorf("nil matrix: got %v, want ErrInvalidMatrix", err)
 	}
 
-	rect := NewTriplets(2, 3, 1).ToCSR()
+	rect := mustTriplets(t, 2, 3, 1).ToCSR()
 	if _, err := NewPlan(rect, Options{}); !errors.Is(err, ErrNotSquare) {
 		t.Errorf("rectangular matrix: got %v, want ErrNotSquare", err)
 	}
@@ -153,8 +153,8 @@ func TestPackageFunctionErrors(t *testing.T) {
 	if _, err := SSpMV(a, nil, x, Options{}); !errors.Is(err, ErrBadCoeffs) {
 		t.Errorf("SSpMV no coeffs: got %v, want ErrBadCoeffs", err)
 	}
-	if _, err := RunMulti(a, nil, 2, Options{}); !errors.Is(err, ErrEmptyBlock) {
-		t.Errorf("RunMulti empty block: got %v, want ErrEmptyBlock", err)
+	if _, err := MPKMulti(a, nil, 2, Options{}); !errors.Is(err, ErrEmptyBlock) {
+		t.Errorf("MPKMulti empty block: got %v, want ErrEmptyBlock", err)
 	}
 	if _, err := SSpMVMulti(a, []float64{1}, nil, Options{}); !errors.Is(err, ErrEmptyBlock) {
 		t.Errorf("SSpMVMulti empty block: got %v, want ErrEmptyBlock", err)
@@ -166,5 +166,23 @@ func TestPackageFunctionErrors(t *testing.T) {
 
 	if err := SaveMatrixMarket(filepath.Join(t.TempDir(), "x.mtx"), nil); !errors.Is(err, ErrInvalidMatrix) {
 		t.Errorf("SaveMatrixMarket nil matrix: got %v, want ErrInvalidMatrix", err)
+	}
+}
+
+// TestNewTripletsRejectsNegativeArgs checks that the builder reports
+// negative dimensions and capacity hints as typed errors instead of
+// clamping them.
+func TestNewTripletsRejectsNegativeArgs(t *testing.T) {
+	if _, err := NewTriplets(-1, 3, 0); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("negative rows: got %v, want ErrInvalidMatrix", err)
+	}
+	if _, err := NewTriplets(3, -1, 0); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("negative cols: got %v, want ErrInvalidMatrix", err)
+	}
+	if _, err := NewTriplets(3, 3, -1); !errors.Is(err, ErrInvalidMatrix) {
+		t.Errorf("negative capHint: got %v, want ErrInvalidMatrix", err)
+	}
+	if tr, err := NewTriplets(0, 0, 0); err != nil || tr == nil {
+		t.Errorf("zero-dimensional builder: got (%v, %v), want a usable builder", tr, err)
 	}
 }

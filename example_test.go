@@ -8,7 +8,10 @@ import (
 
 // ExampleMPK computes A^2 x for a tiny hand-built matrix.
 func ExampleMPK() {
-	tr := fbmpk.NewTriplets(3, 3, 4)
+	tr, err := fbmpk.NewTriplets(3, 3, 4)
+	if err != nil {
+		panic(err)
+	}
 	tr.Add(0, 0, 2)
 	tr.Add(0, 1, -1)
 	tr.Add(1, 1, 3)
@@ -24,10 +27,56 @@ func ExampleMPK() {
 	// Output: [-1 9 16]
 }
 
+// ExampleNewPlan shows the two equivalent ways to configure a plan:
+// functional options layered on the FBMPK defaults, and a wholesale
+// Options value (which is itself an option).
+func ExampleNewPlan() {
+	tr, err := fbmpk.NewTriplets(2, 2, 2)
+	if err != nil {
+		panic(err)
+	}
+	tr.Add(0, 0, 3)
+	tr.Add(1, 1, 5)
+	a := tr.ToCSR()
+
+	// Functional options: start from the paper's FBMPK configuration
+	// and adjust individual knobs.
+	p1, err := fbmpk.NewPlan(a, fbmpk.WithThreads(2), fbmpk.WithSelfCheck(true))
+	if err != nil {
+		panic(err)
+	}
+	defer p1.Close()
+
+	// Explicit Options value: applies wholesale, as before.
+	p2, err := fbmpk.NewPlan(a, fbmpk.Options{
+		Engine:  fbmpk.EngineForwardBackward,
+		BtB:     true,
+		Threads: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer p2.Close()
+
+	x1, err := p1.MPK([]float64{1, 1}, 3)
+	if err != nil {
+		panic(err)
+	}
+	x2, err := p2.MPK([]float64{1, 1}, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(x1, x2)
+	// Output: [27 125] [27 125]
+}
+
 // ExamplePlan_SSpMV evaluates a short polynomial in A applied to x as
 // one fused pipeline.
 func ExamplePlan_SSpMV() {
-	tr := fbmpk.NewTriplets(2, 2, 2)
+	tr, err := fbmpk.NewTriplets(2, 2, 2)
+	if err != nil {
+		panic(err)
+	}
 	tr.Add(0, 0, 1)
 	tr.Add(1, 1, 2)
 	a := tr.ToCSR()
@@ -50,7 +99,10 @@ func ExamplePlan_SSpMV() {
 // ExampleStandardMPK shows the Algorithm 1 baseline the paper
 // compares against.
 func ExampleStandardMPK() {
-	tr := fbmpk.NewTriplets(2, 2, 3)
+	tr, err := fbmpk.NewTriplets(2, 2, 3)
+	if err != nil {
+		panic(err)
+	}
 	tr.Add(0, 0, 0)
 	tr.Add(0, 1, 1)
 	tr.Add(1, 0, 1)

@@ -16,14 +16,28 @@
 // # Quick start
 //
 //	a, _, err := fbmpk.LoadMatrixMarket("matrix.mtx") // or a generator
-//	plan, err := fbmpk.NewPlan(a, fbmpk.DefaultOptions(runtime.GOMAXPROCS(0)))
+//	plan, err := fbmpk.NewPlan(a, fbmpk.WithThreads(runtime.GOMAXPROCS(0)))
 //	defer plan.Close()
 //	xk, err := plan.MPK(x0, 5)            // A^5 x0
 //	y, err := plan.SSpMV(coeffs, x0)      // sum coeffs[i] A^i x0
 //
+// NewPlan accepts functional options (WithThreads, WithEngine, ...) on
+// top of the paper's FBMPK defaults; an explicit Options value applies
+// wholesale and remains fully supported.
+//
 // The one-off plan construction performs the L+D+U split and, for
 // parallel plans, the ABMC reorder; its cost is amortized over the MPK
 // invocations exactly as discussed in Section V-F of the paper.
+//
+// # Serving
+//
+// A Plan is an immutable preprocessed core after construction: any
+// number of goroutines may share one plan concurrently. Executions are
+// admitted through a fair FIFO gate, per-call scratch comes from an
+// internal workspace pool, the *Ctx method variants (MPKCtx, SSpMVCtx,
+// ...) honor context cancellation at pipeline barriers, Plan.Close
+// drains in-flight work and fails late arrivals with ErrClosed, and
+// Plan.Metrics exposes traffic and latency counters (expvar-ready).
 //
 // Subpackages under internal implement the substrates: sparse formats
 // (CSR, ELLPACK, SELL-C-sigma), MatrixMarket I/O, the synthetic
@@ -71,6 +85,9 @@ var (
 	// ErrNoSplit reports SymGS on a standard-engine plan, which does
 	// not build the L+D+U split the smoother needs.
 	ErrNoSplit = core.ErrNoSplit
+	// ErrClosed reports a call on a plan after Close: the execution was
+	// rejected at the admission gate, not partially run.
+	ErrClosed = core.ErrClosed
 )
 
 // Triplets accumulates (row, col, value) entries and converts them to
@@ -78,28 +95,77 @@ var (
 type Triplets = sparse.COO
 
 // NewTriplets returns an empty triplet builder for a rows x cols
-// matrix; capHint pre-sizes the buffers. Negative arguments are
-// clamped to zero (a zero-dimensional builder accepts no entries).
-func NewTriplets(rows, cols, capHint int) *Triplets {
-	if rows < 0 {
-		rows = 0
-	}
-	if cols < 0 {
-		cols = 0
+// matrix; capHint pre-sizes the buffers. Negative dimensions or
+// capacity are rejected with an error wrapping ErrInvalidMatrix.
+func NewTriplets(rows, cols, capHint int) (*Triplets, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("fbmpk: NewTriplets(%d, %d): negative dimension: %w", rows, cols, ErrInvalidMatrix)
 	}
 	if capHint < 0 {
-		capHint = 0
+		return nil, fmt.Errorf("fbmpk: NewTriplets: negative capacity hint %d: %w", capHint, ErrInvalidMatrix)
 	}
-	return sparse.NewCOO(rows, cols, capHint)
+	return sparse.NewCOO(rows, cols, capHint), nil
 }
 
 // Plan is a prepared executor for MPK and SSpMV on one matrix; see
-// NewPlan. Plans are not safe for concurrent use.
+// NewPlan. A plan is immutable after construction and safe for
+// concurrent use by multiple goroutines (see the Serving section of
+// the package documentation).
 type Plan = core.Plan
 
+// PlanMetrics is a snapshot of a plan's execution counters: calls by
+// operation, pipeline sweeps, SpMV-equivalents served, matrix nonzeros
+// streamed (ReadsPerSpMV is the paper's (k+1)/2k headline metric), and
+// the wait/compute split per pipeline phase. It marshals to JSON and
+// its String method returns the JSON encoding, so it drops into expvar:
+//
+//	expvar.Publish("fbmpk.plan", expvar.Func(func() any {
+//		return plan.Metrics()
+//	}))
+type PlanMetrics = core.PlanMetrics
+
 // Options configures a Plan: engine (standard baseline or FBMPK),
-// back-to-back vector layout, thread count, and ABMC parameters.
+// back-to-back vector layout, thread count, ABMC parameters, and the
+// concurrency bound of the admission gate. An Options value is itself
+// an Option applying wholesale.
 type Options = core.Options
+
+// Option is a functional configuration knob for NewPlan; see
+// WithThreads, WithEngine, ... and WithOptions.
+type Option = core.Option
+
+// WithOptions replaces the entire plan configuration with o —
+// identical to passing o directly as an option.
+func WithOptions(o Options) Option { return core.WithOptions(o) }
+
+// WithEngine selects the MPK pipeline (EngineForwardBackward is the
+// default).
+func WithEngine(e Engine) Option { return core.WithEngine(e) }
+
+// WithBtB toggles the back-to-back interleaved vector layout
+// (default on).
+func WithBtB(on bool) Option { return core.WithBtB(on) }
+
+// WithThreads sets the worker count; n > 1 selects the parallel
+// engines (default serial).
+func WithThreads(n int) Option { return core.WithThreads(n) }
+
+// WithNumBlocks sets the ABMC block count (0 = paper default 512).
+func WithNumBlocks(n int) Option { return core.WithNumBlocks(n) }
+
+// WithForceABMC applies ABMC reordering even for serial execution.
+func WithForceABMC(on bool) Option { return core.WithForceABMC(on) }
+
+// WithPreRCM toggles the reverse Cuthill-McKee pass before ABMC
+// blocking.
+func WithPreRCM(on bool) Option { return core.WithPreRCM(on) }
+
+// WithSelfCheck toggles the post-construction invariant audit.
+func WithSelfCheck(on bool) Option { return core.WithSelfCheck(on) }
+
+// WithMaxInFlight bounds concurrent executions on a shared plan (see
+// Options.MaxInFlight).
+func WithMaxInFlight(n int) Option { return core.WithMaxInFlight(n) }
 
 // Engine selects the MPK pipeline.
 type Engine = core.Engine
@@ -114,9 +180,12 @@ const (
 
 // NewPlan prepares an executor for the square matrix a. Construction
 // performs the one-off preprocessing (matrix split, ABMC reorder for
-// parallel plans). Close the plan to release its worker pool.
-func NewPlan(a *Matrix, opt Options) (*Plan, error) {
-	return core.NewPlan(a, opt)
+// parallel plans). With no options the plan runs the paper's FBMPK
+// configuration serially; pass With* options to adjust, or an Options
+// value to replace the configuration wholesale. Close the plan to
+// release its worker pool.
+func NewPlan(a *Matrix, opts ...Option) (*Plan, error) {
+	return core.NewPlan(a, opts...)
 }
 
 // DefaultOptions returns the configuration the paper evaluates as
@@ -128,8 +197,8 @@ func DefaultOptions(threads int) Options {
 
 // MPK computes A^k x0 with a one-shot plan. For repeated invocations
 // on the same matrix build a Plan once instead.
-func MPK(a *Matrix, x0 []float64, k int, opt Options) ([]float64, error) {
-	p, err := NewPlan(a, opt)
+func MPK(a *Matrix, x0 []float64, k int, opts ...Option) ([]float64, error) {
+	p, err := NewPlan(a, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -139,8 +208,8 @@ func MPK(a *Matrix, x0 []float64, k int, opt Options) ([]float64, error) {
 
 // SSpMV computes sum_{i=0..len(coeffs)-1} coeffs[i] * A^i * x0 with a
 // one-shot plan.
-func SSpMV(a *Matrix, coeffs, x0 []float64, opt Options) ([]float64, error) {
-	p, err := NewPlan(a, opt)
+func SSpMV(a *Matrix, coeffs, x0 []float64, opts ...Option) ([]float64, error) {
+	p, err := NewPlan(a, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -148,14 +217,14 @@ func SSpMV(a *Matrix, coeffs, x0 []float64, opt Options) ([]float64, error) {
 	return p.SSpMV(coeffs, x0)
 }
 
-// RunMulti computes A^k x_j for a block of m right-hand sides with a
+// MPKMulti computes A^k x_j for a block of m right-hand sides with a
 // one-shot plan, batched through the multi-vector FBMPK pipeline: one
 // sweep of L/U advances all m vectors, so each matrix read serves 2*m
 // SpMV applications (asymptotically 1/(2m) reads of A per SpMV). For
 // repeated invocations on the same matrix build a Plan once and call
 // Plan.MPKMulti.
-func RunMulti(a *Matrix, xs [][]float64, k int, opt Options) ([][]float64, error) {
-	p, err := NewPlan(a, opt)
+func MPKMulti(a *Matrix, xs [][]float64, k int, opts ...Option) ([][]float64, error) {
+	p, err := NewPlan(a, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -163,11 +232,20 @@ func RunMulti(a *Matrix, xs [][]float64, k int, opt Options) ([][]float64, error
 	return p.MPKMulti(xs, k)
 }
 
+// RunMulti computes A^k x_j for a block of right-hand sides with a
+// one-shot plan.
+//
+// Deprecated: RunMulti was renamed to MPKMulti to match the Plan
+// method; this alias forwards to it.
+func RunMulti(a *Matrix, xs [][]float64, k int, opts ...Option) ([][]float64, error) {
+	return MPKMulti(a, xs, k, opts...)
+}
+
 // SSpMVMulti computes combo_j = sum coeffs[i] * A^i * x_j for every
 // vector of the block with a one-shot plan (the same coefficients apply
 // to every right-hand side). See Plan.SSpMVMulti.
-func SSpMVMulti(a *Matrix, coeffs []float64, xs [][]float64, opt Options) ([][]float64, error) {
-	p, err := NewPlan(a, opt)
+func SSpMVMulti(a *Matrix, coeffs []float64, xs [][]float64, opts ...Option) ([][]float64, error) {
+	p, err := NewPlan(a, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -80,8 +80,19 @@ func TestPublicSSpMV(t *testing.T) {
 	}
 }
 
+// mustTriplets builds a triplet accumulator, failing the test on the
+// (impossible for valid literals) error path.
+func mustTriplets(t *testing.T, rows, cols, capHint int) *Triplets {
+	t.Helper()
+	tr, err := NewTriplets(rows, cols, capHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
 func TestTripletsBuilder(t *testing.T) {
-	tr := NewTriplets(3, 3, 4)
+	tr := mustTriplets(t, 3, 3, 4)
 	tr.Add(0, 0, 2)
 	tr.Add(1, 1, 3)
 	tr.Add(2, 2, 4)

@@ -208,6 +208,9 @@ type Config struct {
 	RHS int
 	// CSV switches the output format.
 	CSV bool
+	// Metrics makes plan-owning experiments dump each plan's
+	// PlanMetrics snapshot (the expvar JSON) after their table.
+	Metrics bool
 }
 
 // Normalize fills defaults in place and returns the config.

@@ -33,6 +33,7 @@ func Registry() []Experiment {
 		{"abl-parallel", "Ablation: ABMC colors vs level scheduling", AblationParallelism},
 		{"abl-wavefront", "Ablation: FBMPK vs level-based (LB-MPK-style) traffic", AblationWavefront},
 		{"abl-multirhs", "Ablation: batched multi-RHS FBMPK vs m independent runs", MultiRHS},
+		{"serving", "Serving: concurrent callers on one shared plan + metrics", Serving},
 	}
 }
 
@@ -70,7 +71,7 @@ func Run(w io.Writer, cfg Config, names []string) error {
 			}
 		case "paper":
 			for _, e := range Registry() {
-				if !strings.HasPrefix(e.Name, "abl-") {
+				if !strings.HasPrefix(e.Name, "abl-") && e.Name != "serving" {
 					want[e.Name] = true
 				}
 			}

@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fbmpk/internal/core"
+)
+
+// Serving exercises the concurrent-serving contract of the redesigned
+// Plan: one immutable plan shared by many callers over pooled per-call
+// workspaces. For each suite matrix it issues the same batch of MPK
+// calls first from a single goroutine and then from 8 concurrent
+// callers, and reports the sustained call throughput plus the plan's
+// own observability counters — reads of A per SpMV served (the paper's
+// (k+1)/2 headline, unchanged by concurrency) and the share of worker
+// time spent waiting at pipeline barriers.
+func Serving(w io.Writer, cfg Config) error {
+	cfg = cfg.Normalize()
+	specs, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	const callers = 8
+	// Each caller issues a handful of MPK calls; keep the batch small
+	// enough that the full suite stays interactive at default -runs.
+	perCaller := cfg.Runs
+	if perCaller > 8 {
+		perCaller = 8
+	}
+	if perCaller < 1 {
+		perCaller = 1
+	}
+	calls := callers * perCaller
+
+	var dumps []struct{ name, json string }
+	t := &Table{
+		Title: fmt.Sprintf("Serving: %d concurrent callers on one shared plan (k=%d, threads=%d, scale=%g)",
+			callers, cfg.K, cfg.Threads, cfg.Scale),
+		Header: []string{"input", "serial", "concurrent", "calls/s",
+			"reads/SpMV", "wait%"},
+	}
+	for _, s := range specs {
+		mat := s.Generate(cfg.Scale, cfg.Seed)
+		p, err := core.NewPlan(mat, core.DefaultOptions(cfg.Threads))
+		if err != nil {
+			return err
+		}
+		x0 := detVec(mat.Rows, cfg.Seed)
+		issue := func() {
+			if _, err := p.MPK(x0, cfg.K); err != nil {
+				panic(err)
+			}
+		}
+		issue() // warm-up: page in the pooled workspaces
+
+		start := time.Now()
+		for c := 0; c < calls; c++ {
+			issue()
+		}
+		serial := time.Since(start)
+
+		start = time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perCaller; i++ {
+					issue()
+				}
+			}()
+		}
+		wg.Wait()
+		concurrent := time.Since(start)
+
+		m := p.Metrics()
+		p.Close()
+		if cfg.Metrics {
+			dumps = append(dumps, struct{ name, json string }{s.Name, m.String()})
+		}
+		waitPct := 0.0
+		if tot := m.WaitTime + m.ComputeTime; tot > 0 {
+			waitPct = 100 * float64(m.WaitTime) / float64(tot)
+		}
+		t.AddRow(s.Name, serial.String(), concurrent.String(),
+			f2(float64(calls)/concurrent.Seconds()),
+			f3(m.ReadsPerSpMV), f2(waitPct))
+	}
+	t.AddNote("reads/SpMV is measured by the plan's traffic counters; FBMPK serves (k+1)/(2k) = %s reads of A per SpMV regardless of caller count",
+		f3(float64(cfg.K+1)/(2*float64(cfg.K))))
+	t.AddNote("pool-backed plans admit one execution at a time (the SPMD region owns every worker); concurrent throughput measures fair FIFO admission overhead, not parallel speedup")
+	if err := cfg.Emit(w, t); err != nil {
+		return err
+	}
+	for _, d := range dumps {
+		if _, err := fmt.Fprintf(w, "metrics[%s]: %s\n", d.name, d.json); err != nil {
+			return err
+		}
+	}
+	return nil
+}

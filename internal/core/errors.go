@@ -27,4 +27,13 @@ var (
 	// ErrNoSplit reports a SymGS call on a plan built without the
 	// L+D+U split (the standard engine does not construct it).
 	ErrNoSplit = errors.New("no L+D+U split available")
+	// ErrClosed reports a call on a plan whose Close has begun: the
+	// plan drains in-flight executions and fails late arrivals.
+	ErrClosed = errors.New("plan is closed")
 )
+
+// errCanceledRun is the internal signal that an execution observed its
+// cancellation flag and abandoned the run; the plan layer translates
+// it into the context's error so callers can match context.Canceled /
+// context.DeadlineExceeded with errors.Is.
+var errCanceledRun = errors.New("core: run canceled")

@@ -58,6 +58,15 @@ func newFBState(n int, btb bool) *fbState {
 // combo = sum coeffs[i] * A^i * x0 (returned second, else nil).
 // onIterate, when non-nil, observes a copy of each iterate.
 func FBMPKSerial(tri *sparse.Triangular, x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
+	return fbmpkSerial(nil, nil, tri, x0, k, btb, coeffs, onIterate)
+}
+
+// fbmpkSerial is FBMPKSerial with an externally supplied pipeline
+// state (nil allocates a fresh one) and run environment: env's cancel
+// flag is checked once per sweep and aborts the run with
+// errCanceledRun. Reusing st across calls is safe because every sweep
+// fully writes the slots it later reads (see workspace.go).
+func fbmpkSerial(st *fbState, env *runEnv, tri *sparse.Triangular, x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
 	n := tri.N
 	if len(x0) != n {
 		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), n, ErrDimension)
@@ -68,7 +77,9 @@ func FBMPKSerial(tri *sparse.Triangular, x0 []float64, k int, btb bool, coeffs [
 	if coeffs != nil && len(coeffs) != k+1 {
 		return nil, nil, fmt.Errorf("core: coeffs length %d != k+1 = %d: %w", len(coeffs), k+1, ErrBadCoeffs)
 	}
-	st := newFBState(n, btb)
+	if st == nil {
+		st = newFBState(n, btb)
+	}
 	if coeffs != nil {
 		combo = make([]float64, n)
 		for i := range combo {
@@ -103,6 +114,9 @@ func FBMPKSerial(tri *sparse.Triangular, x0 []float64, k int, btb bool, coeffs [
 		sparse.SpMV(tri.U, x0, st.tmp) // head
 		t := 0
 		for t < k {
+			if env.canceled() {
+				return nil, nil, errCanceledRun
+			}
 			last := t+1 == k
 			fbForwardBtB(tri, xy, st.tmp, last)
 			t++
@@ -128,10 +142,13 @@ func FBMPKSerial(tri *sparse.Triangular, x0 []float64, k int, btb bool, coeffs [
 		return xk, combo, nil
 	}
 
-	copy(st.a, x0)
+	copy(st.a[:n], x0)
 	sparse.SpMV(tri.U, x0, st.tmp) // head
 	t := 0
 	for t < k {
+		if env.canceled() {
+			return nil, nil, errCanceledRun
+		}
 		last := t+1 == k
 		fbForwardSep(tri, st.a, st.b, st.tmp, last)
 		t++

@@ -78,13 +78,20 @@ func checkMulti(n int, xs [][]float64, k int, coeffs []float64) (int, int, error
 // accumulates combo_j = sum coeffs[i] * A^i * x_j for every vector
 // (returned second, else nil).
 func FBMPKSerialMulti(tri *sparse.Triangular, xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
+	return fbmpkSerialMulti(nil, nil, tri, xs, k, btb, coeffs)
+}
+
+// fbmpkSerialMulti is FBMPKSerialMulti with an externally supplied
+// batched state (nil allocates) and run environment (cancellation
+// checked once per sweep).
+func fbmpkSerialMulti(st *fbMultiState, env *runEnv, tri *sparse.Triangular, xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
 	n, m, err := checkMulti(tri.N, xs, k, coeffs)
 	if err != nil {
 		return nil, nil, err
 	}
 	if m == 1 {
 		// Width-1 stripes degrade to the scalar pipeline; use it.
-		xk, combo, err := FBMPKSerial(tri, xs[0], k, btb, coeffs, nil)
+		xk, combo, err := fbmpkSerial(nil, env, tri, xs[0], k, btb, coeffs, nil)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -94,7 +101,9 @@ func FBMPKSerialMulti(tri *sparse.Triangular, xs [][]float64, k int, btb bool, c
 		}
 		return xks, combos, nil
 	}
-	st := newFBMultiState(n, m, btb)
+	if st == nil {
+		st = newFBMultiState(n, m, btb)
+	}
 	packBlock(xs, st.x0b, m, 0, n)
 	var cmb []float64
 	if coeffs != nil {
@@ -116,6 +125,9 @@ func FBMPKSerialMulti(tri *sparse.Triangular, xs [][]float64, k int, btb bool, c
 
 	t := 0
 	for t < k {
+		if env.canceled() {
+			return nil, nil, errCanceledRun
+		}
 		last := t+1 == k
 		if btb {
 			fbForwardBtBMultiRange(tri, st.xy, st.tmp, m, 0, n, last)

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"encoding/json"
+	"sync/atomic"
+	"time"
+)
+
+// Observability layer of the concurrent Plan engine. Every Plan owns a
+// set of atomic counters updated on each execution: call counts per
+// operation, pipeline sweeps, SpMV-equivalents served, nonzeros of the
+// matrix streamed from memory (the quantity behind the paper's
+// (k+1)/2 "reads of A" headline), and per-phase wait vs. compute time
+// measured by the parallel workers. PlanMetrics is the immutable
+// snapshot; it marshals to JSON and implements fmt.Stringer with the
+// JSON encoding, which makes it directly usable as an expvar.Var:
+//
+//	expvar.Publish("fbmpk.plan", expvar.Func(func() any {
+//		return plan.Metrics()
+//	}))
+
+// opKind enumerates the Plan entry points for per-operation counters.
+type opKind int
+
+const (
+	opMPK opKind = iota
+	opMPKAll
+	opMPKBatch
+	opMPKMulti
+	opSSpMV
+	opSSpMVMulti
+	opSSpMVComplex
+	opSymGS
+	numOps
+)
+
+var opNames = [numOps]string{
+	opMPK:          "mpk",
+	opMPKAll:       "mpk_all",
+	opMPKBatch:     "mpk_batch",
+	opMPKMulti:     "mpk_multi",
+	opSSpMV:        "sspmv",
+	opSSpMVMulti:   "sspmv_multi",
+	opSSpMVComplex: "sspmv_complex",
+	opSymGS:        "symgs",
+}
+
+func (o opKind) String() string { return opNames[o] }
+
+// phase enumerates the pipeline phases for the wait/compute breakdown.
+type phase int
+
+const (
+	phaseHead phase = iota // head SpMV (tmp = U * x0) and vector init
+	phaseForward
+	phaseBackward
+	phaseStandard // standard-engine SpMV sweeps
+	phaseSymGS
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	phaseHead:     "head",
+	phaseForward:  "forward",
+	phaseBackward: "backward",
+	phaseStandard: "standard",
+	phaseSymGS:    "symgs",
+}
+
+// planMetrics is the live atomic counter set owned by a Plan.
+type planMetrics struct {
+	calls    [numOps]atomic.Uint64
+	rejected atomic.Uint64 // arrivals failed with ErrClosed
+	canceled atomic.Uint64 // executions ended by context cancellation
+	inflight atomic.Int64
+
+	sweeps      atomic.Uint64 // pipeline sweeps (forward or backward passes)
+	spmvs       atomic.Uint64 // SpMV-equivalents served (powers x vectors)
+	nnzStreamed atomic.Uint64 // matrix nonzeros read from memory
+
+	callNanos atomic.Int64 // wall time inside engine executions
+	phaseWait [numPhases]atomic.Int64
+	phaseComp [numPhases]atomic.Int64
+}
+
+// work is the analytic cost of one successful execution, accumulated
+// into the counters by exec.
+type work struct {
+	sweeps uint64
+	spmvs  uint64
+	nnz    uint64
+}
+
+func (m *planMetrics) add(w work) {
+	if w.sweeps != 0 {
+		m.sweeps.Add(w.sweeps)
+	}
+	if w.spmvs != 0 {
+		m.spmvs.Add(w.spmvs)
+	}
+	if w.nnz != 0 {
+		m.nnzStreamed.Add(w.nnz)
+	}
+}
+
+// PlanMetrics is a point-in-time snapshot of a plan's counters.
+// ReadsOfA is NnzStreamed normalized to the matrix size — how many
+// times A has been read end to end — and ReadsPerSpMV divides that by
+// the SpMV-equivalents served: the paper's headline metric, ~1 for the
+// standard engine, ~(k+1)/(2k) for single-vector FBMPK at power k, and
+// ~(k+1)/(2km) for the m-vector batched pipeline.
+type PlanMetrics struct {
+	Calls     uint64            `json:"calls"`
+	CallsByOp map[string]uint64 `json:"calls_by_op,omitempty"`
+	Rejected  uint64            `json:"rejected"`
+	Canceled  uint64            `json:"canceled"`
+	InFlight  int64             `json:"in_flight"`
+
+	Sweeps      uint64 `json:"sweeps"`
+	SpMVs       uint64 `json:"spmvs"`
+	NnzStreamed uint64 `json:"nnz_streamed"`
+	MatrixNnz   uint64 `json:"matrix_nnz"`
+
+	ReadsOfA     float64 `json:"reads_of_a"`
+	ReadsPerSpMV float64 `json:"reads_of_a_per_spmv"`
+
+	CallTime     time.Duration            `json:"call_time_ns"`
+	WaitTime     time.Duration            `json:"wait_time_ns"`
+	ComputeTime  time.Duration            `json:"compute_time_ns"`
+	PhaseWait    map[string]time.Duration `json:"phase_wait_ns,omitempty"`
+	PhaseCompute map[string]time.Duration `json:"phase_compute_ns,omitempty"`
+}
+
+// String renders the snapshot as JSON, satisfying expvar.Var.
+func (m PlanMetrics) String() string {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// snapshot materializes the counters. matrixNnz is the plan's nnz(A).
+func (m *planMetrics) snapshot(matrixNnz uint64) PlanMetrics {
+	s := PlanMetrics{
+		Rejected:    m.rejected.Load(),
+		Canceled:    m.canceled.Load(),
+		InFlight:    m.inflight.Load(),
+		Sweeps:      m.sweeps.Load(),
+		SpMVs:       m.spmvs.Load(),
+		NnzStreamed: m.nnzStreamed.Load(),
+		MatrixNnz:   matrixNnz,
+		CallTime:    time.Duration(m.callNanos.Load()),
+	}
+	s.CallsByOp = make(map[string]uint64, numOps)
+	for op := opKind(0); op < numOps; op++ {
+		if c := m.calls[op].Load(); c > 0 {
+			s.CallsByOp[op.String()] = c
+			s.Calls += c
+		}
+	}
+	if matrixNnz > 0 {
+		s.ReadsOfA = float64(s.NnzStreamed) / float64(matrixNnz)
+	}
+	if s.SpMVs > 0 {
+		s.ReadsPerSpMV = s.ReadsOfA / float64(s.SpMVs)
+	}
+	s.PhaseWait = make(map[string]time.Duration, numPhases)
+	s.PhaseCompute = make(map[string]time.Duration, numPhases)
+	for ph := phase(0); ph < numPhases; ph++ {
+		w := time.Duration(m.phaseWait[ph].Load())
+		c := time.Duration(m.phaseComp[ph].Load())
+		if w > 0 {
+			s.PhaseWait[phaseNames[ph]] = w
+		}
+		if c > 0 {
+			s.PhaseCompute[phaseNames[ph]] = c
+		}
+		s.WaitTime += w
+		s.ComputeTime += c
+	}
+	return s
+}
+
+// cancelFlag is the monotonic cross-goroutine cancellation signal for
+// one in-flight execution: set once by the context watcher, polled by
+// the workers at color-barrier boundaries.
+type cancelFlag struct{ v atomic.Bool }
+
+func (f *cancelFlag) set() { f.v.Store(true) }
+
+// canceled is nil-safe so uncancellable runs pay one nil check.
+func (f *cancelFlag) canceled() bool { return f != nil && f.v.Load() }
+
+// runEnv bundles the per-execution cancellation flag and the metrics
+// sink threaded through the engine kernels. A nil *runEnv (the legacy
+// exported entry points) disables both.
+type runEnv struct {
+	flag *cancelFlag
+	met  *planMetrics
+}
+
+func (e *runEnv) canceled() bool {
+	return e != nil && e.flag.canceled()
+}
+
+// clock returns a per-worker phase clock, nil when metrics are off —
+// all phaseClock methods are nil-safe no-ops.
+func (e *runEnv) clock() *phaseClock {
+	if e == nil || e.met == nil {
+		return nil
+	}
+	return &phaseClock{met: e.met, t: time.Now()}
+}
+
+// phaseClock accumulates one worker's wait vs. compute time per phase
+// locally (no sharing, no atomics on the hot path) and flushes into
+// the plan counters once when the worker finishes. Usage: endCompute
+// after a kernel section, endWait after a barrier crossing; the clock
+// treats the span since the previous mark as that category.
+type phaseClock struct {
+	met  *planMetrics
+	t    time.Time
+	wait [numPhases]int64
+	comp [numPhases]int64
+}
+
+func (c *phaseClock) endCompute(ph phase) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	c.comp[ph] += now.Sub(c.t).Nanoseconds()
+	c.t = now
+}
+
+func (c *phaseClock) endWait(ph phase) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	c.wait[ph] += now.Sub(c.t).Nanoseconds()
+	c.t = now
+}
+
+func (c *phaseClock) flush() {
+	if c == nil {
+		return
+	}
+	for ph := phase(0); ph < numPhases; ph++ {
+		if c.wait[ph] != 0 {
+			c.met.phaseWait[ph].Add(c.wait[ph])
+		}
+		if c.comp[ph] != 0 {
+			c.met.phaseComp[ph].Add(c.comp[ph])
+		}
+	}
+}

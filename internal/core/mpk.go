@@ -22,6 +22,12 @@ type IterateFunc func(power int, x []float64)
 // result A^k x0 is returned in a fresh slice. onIterate, when non-nil,
 // observes every iterate including the last.
 func StandardMPK(a *sparse.CSR, x0 []float64, k int, onIterate IterateFunc) ([]float64, error) {
+	return standardMPK(nil, a, x0, k, onIterate)
+}
+
+// standardMPK is StandardMPK with a run environment: the cancel flag
+// is checked once per power.
+func standardMPK(env *runEnv, a *sparse.CSR, x0 []float64, k int, onIterate IterateFunc) ([]float64, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: StandardMPK: %w", sparse.ErrNotSquare)
 	}
@@ -34,6 +40,9 @@ func StandardMPK(a *sparse.CSR, x0 []float64, k int, onIterate IterateFunc) ([]f
 	x := sparse.CopyVec(x0)
 	y := make([]float64, a.Rows)
 	for power := 1; power <= k; power++ {
+		if env.canceled() {
+			return nil, errCanceledRun
+		}
 		sparse.SpMV(a, x, y)
 		x, y = y, x
 		if onIterate != nil {
@@ -48,6 +57,14 @@ func StandardMPK(a *sparse.CSR, x0 []float64, k int, onIterate IterateFunc) ([]f
 // barrier-synchronize between the k invocations. This mirrors the
 // paper's baseline methodology ("the same optimized SpMV kernel").
 func StandardMPKParallel(a *sparse.CSR, x0 []float64, k int, pool *parallel.Pool, onIterate IterateFunc) ([]float64, error) {
+	return standardMPKParallel(nil, a, x0, k, pool, onIterate)
+}
+
+// standardMPKParallel is StandardMPKParallel with a run environment:
+// workers poll the cancel flag after each power barrier and switch to
+// skip mode (crossing the remaining barriers without computing), the
+// same protocol as FBParallel.runCapture.
+func standardMPKParallel(env *runEnv, a *sparse.CSR, x0 []float64, k int, pool *parallel.Pool, onIterate IterateFunc) ([]float64, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: StandardMPKParallel: %w", sparse.ErrNotSquare)
 	}
@@ -62,22 +79,37 @@ func StandardMPKParallel(a *sparse.CSR, x0 []float64, k int, pool *parallel.Pool
 	y := make([]float64, a.Rows)
 	bar := parallel.NewBarrier(pool.Workers())
 	pool.Run(func(id int) {
+		clock := env.clock()
+		skip := false
 		lo, hi := bounds[id], bounds[id+1]
 		src, dst := x, y
 		for power := 1; power <= k; power++ {
-			sparse.SpMVRange(a, src, dst, lo, hi)
+			if !skip {
+				sparse.SpMVRange(a, src, dst, lo, hi)
+			}
 			src, dst = dst, src
 			// All writers must finish before anyone reads dst as the
 			// next source, and before the iterate callback fires.
+			clock.endCompute(phaseStandard)
 			bar.Wait()
+			clock.endWait(phaseStandard)
+			if !skip && env.canceled() {
+				skip = true
+			}
 			if onIterate != nil {
-				if id == 0 {
+				if id == 0 && !skip {
 					onIterate(power, src)
 				}
+				clock.endCompute(phaseStandard)
 				bar.Wait()
+				clock.endWait(phaseStandard)
 			}
 		}
+		clock.flush()
 	})
+	if env.canceled() {
+		return nil, errCanceledRun
+	}
 	if k%2 == 1 {
 		x, y = y, x
 	}
@@ -91,6 +123,12 @@ func StandardMPKParallel(a *sparse.CSR, x0 []float64, k int, pool *parallel.Pool
 // MPK traffic argument, used by subspace iteration. xs holds the nv
 // start vectors; the result is nv fresh vectors.
 func StandardMPKBatch(a *sparse.CSR, xs [][]float64, k int) ([][]float64, error) {
+	return standardMPKBatch(nil, a, xs, k)
+}
+
+// standardMPKBatch is StandardMPKBatch with a run environment
+// (cancellation checked once per power).
+func standardMPKBatch(env *runEnv, a *sparse.CSR, xs [][]float64, k int) ([][]float64, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: StandardMPKBatch: %w", sparse.ErrNotSquare)
 	}
@@ -109,6 +147,9 @@ func StandardMPKBatch(a *sparse.CSR, xs [][]float64, k int) ([][]float64, error)
 	x := sparse.PackVectors(xs)
 	y := make([]float64, len(x))
 	for power := 0; power < k; power++ {
+		if env.canceled() {
+			return nil, errCanceledRun
+		}
 		sparse.SpMM(a, x, y, nv)
 		x, y = y, x
 	}
@@ -118,6 +159,11 @@ func StandardMPKBatch(a *sparse.CSR, xs [][]float64, k int) ([][]float64, error)
 // SSpMVStandard evaluates y = sum_{i=0..k} coeffs[i] * A^i * x0 with
 // the standard engine (k = len(coeffs)-1 SpMV sweeps).
 func SSpMVStandard(a *sparse.CSR, coeffs []float64, x0 []float64) ([]float64, error) {
+	return sspmvStandard(nil, a, coeffs, x0)
+}
+
+// sspmvStandard is SSpMVStandard with a run environment.
+func sspmvStandard(env *runEnv, a *sparse.CSR, coeffs []float64, x0 []float64) ([]float64, error) {
 	if len(coeffs) == 0 {
 		return nil, fmt.Errorf("core: SSpMV needs at least one coefficient: %w", ErrBadCoeffs)
 	}
@@ -132,7 +178,7 @@ func SSpMVStandard(a *sparse.CSR, coeffs []float64, x0 []float64) ([]float64, er
 	if len(coeffs) == 1 {
 		return y, nil
 	}
-	_, err := StandardMPK(a, x0, len(coeffs)-1, func(power int, x []float64) {
+	_, err := standardMPK(env, a, x0, len(coeffs)-1, func(power int, x []float64) {
 		c := coeffs[power]
 		if c == 0 {
 			return

@@ -1,0 +1,84 @@
+package core
+
+import "fbmpk/internal/graph"
+
+// Option is a functional configuration knob for NewPlan. Two styles
+// compose: an Options value is itself an Option that applies wholesale
+// (so existing NewPlan(a, opt) call sites keep working and a fully
+// explicit configuration stays one literal), while the With* options
+// tweak individual fields on top of the FBMPK defaults.
+type Option interface {
+	applyOption(*Options)
+}
+
+// applyOption makes Options itself an Option: passing one replaces the
+// whole configuration, including fields left at their zero value.
+func (o Options) applyOption(dst *Options) { *dst = o }
+
+type optionFunc func(*Options)
+
+func (f optionFunc) applyOption(o *Options) { f(o) }
+
+// BuildOptions resolves a NewPlan option list to a concrete Options
+// value. The starting point is the paper's FBMPK configuration,
+// serial (DefaultOptions(0)); options apply left to right.
+func BuildOptions(opts ...Option) Options {
+	o := DefaultOptions(0)
+	for _, op := range opts {
+		op.applyOption(&o)
+	}
+	return o
+}
+
+// WithOptions replaces the entire configuration with o (identical to
+// passing o directly; provided for call sites that prefer the With*
+// form throughout).
+func WithOptions(o Options) Option { return o }
+
+// WithEngine selects the MPK pipeline.
+func WithEngine(e Engine) Option {
+	return optionFunc(func(o *Options) { o.Engine = e })
+}
+
+// WithBtB toggles the back-to-back interleaved vector layout.
+func WithBtB(on bool) Option {
+	return optionFunc(func(o *Options) { o.BtB = on })
+}
+
+// WithThreads sets the worker count; n > 1 selects the parallel
+// engines.
+func WithThreads(n int) Option {
+	return optionFunc(func(o *Options) { o.Threads = n })
+}
+
+// WithNumBlocks sets the ABMC block count (0 = paper default 512).
+func WithNumBlocks(n int) Option {
+	return optionFunc(func(o *Options) { o.NumBlocks = n })
+}
+
+// WithColorOrder sets the greedy coloring visit order for ABMC.
+func WithColorOrder(co graph.ColorOrder) Option {
+	return optionFunc(func(o *Options) { o.ColorOrder = co })
+}
+
+// WithForceABMC applies ABMC reordering even for serial execution.
+func WithForceABMC(on bool) Option {
+	return optionFunc(func(o *Options) { o.ForceABMC = on })
+}
+
+// WithPreRCM toggles the reverse Cuthill-McKee pass before ABMC
+// blocking.
+func WithPreRCM(on bool) Option {
+	return optionFunc(func(o *Options) { o.PreRCM = on })
+}
+
+// WithSelfCheck toggles the post-construction invariant audit.
+func WithSelfCheck(on bool) Option {
+	return optionFunc(func(o *Options) { o.SelfCheck = on })
+}
+
+// WithMaxInFlight bounds concurrent executions on a shared plan (see
+// Options.MaxInFlight).
+func WithMaxInFlight(n int) Option {
+	return optionFunc(func(o *Options) { o.MaxInFlight = n })
+}

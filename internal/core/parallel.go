@@ -70,6 +70,18 @@ func (f *FBParallel) Run(x0 []float64, k int, btb bool, coeffs []float64) (xk, c
 // every completed power, on worker 0, with all other workers parked at
 // a barrier (so the scratch iterate is stable while observed).
 func (f *FBParallel) RunCapture(x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
+	return f.runCapture(nil, nil, x0, k, btb, coeffs, onIterate)
+}
+
+// runCapture is RunCapture with an externally supplied pipeline state
+// (nil allocates) and run environment. Cancellation protocol: each
+// worker polls env's flag after every color barrier; a worker that
+// observes it switches to skip mode — it stops computing but keeps
+// crossing every barrier of the schedule, so workers that read the
+// flag at different boundaries can never deadlock each other, and the
+// pool is immediately reusable afterwards. If the flag was set the run
+// returns errCanceledRun and the output buffers are unspecified.
+func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
 	n := f.tri.N
 	if len(x0) != n {
 		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), n, ErrDimension)
@@ -86,7 +98,9 @@ func (f *FBParallel) RunCapture(x0 []float64, k int, btb bool, coeffs []float64,
 		}
 		return []float64{}, combo, nil
 	}
-	st := newFBState(n, btb)
+	if st == nil {
+		st = newFBState(n, btb)
+	}
 	if coeffs != nil {
 		combo = make([]float64, n)
 	}
@@ -122,6 +136,8 @@ func (f *FBParallel) RunCapture(x0 []float64, k int, btb bool, coeffs []float64,
 	nc := f.ord.NumColors
 
 	f.pool.Run(func(id int) {
+		clock := env.clock()
+		skip := false // cancellation observed: cross barriers, do no work
 		dLo, dHi := f.denseBounds[id], f.denseBounds[id+1]
 		// Init vectors and head: tmp = U * x0.
 		if btb {
@@ -137,65 +153,92 @@ func (f *FBParallel) RunCapture(x0 []float64, k int, btb bool, coeffs []float64,
 				combo[i] = c0 * x0[i]
 			}
 		}
+		clock.endCompute(phaseHead)
 		f.bar.Wait()
+		clock.endWait(phaseHead)
 		sparse.SpMVRange(f.tri.U, x0, st.tmp, f.headBounds[id], f.headBounds[id+1])
+		clock.endCompute(phaseHead)
 		f.bar.Wait()
+		clock.endWait(phaseHead)
+		skip = env.canceled()
 
 		t := 0
 		for t < k {
 			last := t+1 == k
 			for c := 0; c < nc; c++ {
-				lo, hi := f.rowRange(c, id)
-				if btb {
-					fbForwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
-				} else {
-					fbForwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+				if !skip {
+					lo, hi := f.rowRange(c, id)
+					if btb {
+						fbForwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
+					} else {
+						fbForwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+					}
 				}
+				clock.endCompute(phaseForward)
 				f.bar.Wait()
+				clock.endWait(phaseForward)
+				if !skip && env.canceled() {
+					skip = true
+				}
 			}
 			t++
-			if combo != nil && coeffs[t] != 0 {
-				cc := coeffs[t]
-				if btb {
-					for i := dLo; i < dHi; i++ {
-						combo[i] += cc * st.xy[2*i+1]
-					}
-				} else {
-					for i := dLo; i < dHi; i++ {
-						combo[i] += cc * st.b[i]
+			if !skip {
+				if combo != nil && coeffs[t] != 0 {
+					cc := coeffs[t]
+					if btb {
+						for i := dLo; i < dHi; i++ {
+							combo[i] += cc * st.xy[2*i+1]
+						}
+					} else {
+						for i := dLo; i < dHi; i++ {
+							combo[i] += cc * st.b[i]
+						}
 					}
 				}
+				capture(id, t, true)
 			}
-			capture(id, t, true)
 			if t == k {
 				break
 			}
 			last = t+1 == k
 			for c := nc - 1; c >= 0; c-- {
-				lo, hi := f.rowRange(c, id)
-				if btb {
-					fbBackwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
-				} else {
-					fbBackwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+				if !skip {
+					lo, hi := f.rowRange(c, id)
+					if btb {
+						fbBackwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
+					} else {
+						fbBackwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+					}
 				}
+				clock.endCompute(phaseBackward)
 				f.bar.Wait()
+				clock.endWait(phaseBackward)
+				if !skip && env.canceled() {
+					skip = true
+				}
 			}
 			t++
-			if combo != nil && coeffs[t] != 0 {
-				cc := coeffs[t]
-				if btb {
-					for i := dLo; i < dHi; i++ {
-						combo[i] += cc * st.xy[2*i]
-					}
-				} else {
-					for i := dLo; i < dHi; i++ {
-						combo[i] += cc * st.a[i]
+			if !skip {
+				if combo != nil && coeffs[t] != 0 {
+					cc := coeffs[t]
+					if btb {
+						for i := dLo; i < dHi; i++ {
+							combo[i] += cc * st.xy[2*i]
+						}
+					} else {
+						for i := dLo; i < dHi; i++ {
+							combo[i] += cc * st.a[i]
+						}
 					}
 				}
+				capture(id, t, false)
 			}
-			capture(id, t, false)
 		}
+		clock.flush()
 	})
+	if env.canceled() {
+		return nil, nil, errCanceledRun
+	}
 
 	xk = make([]float64, n)
 	switch {

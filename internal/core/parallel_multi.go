@@ -39,6 +39,13 @@ func NewFBParallelMultiFrom(tri *sparse.Triangular, ord *reorder.ABMCResult, poo
 // or length k+1) additionally accumulates the SSpMV combination for
 // every vector.
 func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
+	return f.run(nil, nil, xs, k, btb, coeffs)
+}
+
+// run is Run with an externally supplied batched state (nil allocates)
+// and run environment; the cancellation protocol is the skip-mode
+// scheme of FBParallel.runCapture.
+func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
 	fb := f.fb
 	n, m, err := checkMulti(fb.tri.N, xs, k, coeffs)
 	if err != nil {
@@ -57,7 +64,9 @@ func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64)
 		}
 		return xks, combos, nil
 	}
-	st := newFBMultiState(n, m, btb)
+	if st == nil {
+		st = newFBMultiState(n, m, btb)
+	}
 	var cmb []float64
 	if coeffs != nil {
 		cmb = make([]float64, n*m)
@@ -65,6 +74,8 @@ func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64)
 	nc := fb.ord.NumColors
 
 	fb.pool.Run(func(id int) {
+		clock := env.clock()
+		skip := false
 		dLo, dHi := fb.denseBounds[id], fb.denseBounds[id+1]
 		// Pack the start block and init the working layout + combo.
 		packBlock(xs, st.x0b, m, dLo, dHi)
@@ -81,25 +92,37 @@ func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64)
 				cmb[i] = c0 * st.x0b[i]
 			}
 		}
+		clock.endCompute(phaseHead)
 		fb.bar.Wait()
+		clock.endWait(phaseHead)
 		// Head: tmp = U * X0 over the nnz-balanced row partition.
 		sparse.SpMMRange(fb.tri.U, st.x0b, st.tmp, m, fb.headBounds[id], fb.headBounds[id+1])
+		clock.endCompute(phaseHead)
 		fb.bar.Wait()
+		clock.endWait(phaseHead)
+		skip = env.canceled()
 
 		t := 0
 		for t < k {
 			last := t+1 == k
 			for c := 0; c < nc; c++ {
-				lo, hi := fb.rowRange(c, id)
-				if btb {
-					fbForwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
-				} else {
-					fbForwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+				if !skip {
+					lo, hi := fb.rowRange(c, id)
+					if btb {
+						fbForwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
+					} else {
+						fbForwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+					}
 				}
+				clock.endCompute(phaseForward)
 				fb.bar.Wait()
+				clock.endWait(phaseForward)
+				if !skip && env.canceled() {
+					skip = true
+				}
 			}
 			t++
-			if cmb != nil && coeffs[t] != 0 {
+			if !skip && cmb != nil && coeffs[t] != 0 {
 				if btb {
 					accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 1, dLo, dHi)
 				} else {
@@ -111,16 +134,23 @@ func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64)
 			}
 			last = t+1 == k
 			for c := nc - 1; c >= 0; c-- {
-				lo, hi := fb.rowRange(c, id)
-				if btb {
-					fbBackwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
-				} else {
-					fbBackwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+				if !skip {
+					lo, hi := fb.rowRange(c, id)
+					if btb {
+						fbBackwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
+					} else {
+						fbBackwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+					}
 				}
+				clock.endCompute(phaseBackward)
 				fb.bar.Wait()
+				clock.endWait(phaseBackward)
+				if !skip && env.canceled() {
+					skip = true
+				}
 			}
 			t++
-			if cmb != nil && coeffs[t] != 0 {
+			if !skip && cmb != nil && coeffs[t] != 0 {
 				if btb {
 					accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 0, dLo, dHi)
 				} else {
@@ -128,7 +158,11 @@ func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64)
 				}
 			}
 		}
+		clock.flush()
 	})
+	if env.canceled() {
+		return nil, nil, errCanceledRun
+	}
 
 	xks = st.unpackResult(n, m, k, btb)
 	if cmb != nil {

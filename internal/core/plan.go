@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"fbmpk/internal/check"
@@ -60,6 +64,13 @@ type Options struct {
 	// invariant is violated. Debug aid: costs one extra pass over the
 	// matrix, nothing per MPK call.
 	SelfCheck bool
+	// MaxInFlight bounds the executions a shared plan admits at once;
+	// excess callers queue in FIFO order. 0 selects the default:
+	// GOMAXPROCS for serial plans. Plans with a worker pool (Threads >
+	// 1) always run one engine invocation at a time — the pool is a
+	// single SPMD region — so MaxInFlight is clamped to 1 there and the
+	// gate only provides fair queueing and close semantics.
+	MaxInFlight int
 }
 
 // DefaultOptions returns the configuration the paper evaluates as
@@ -76,8 +87,15 @@ func DefaultOptions(threads int) Options {
 // Plan is a prepared MPK/SSpMV executor for one matrix. Building a
 // Plan performs the one-off preprocessing the paper amortizes across
 // MPK invocations (Section V-F): the L+D+U split, and for parallel
-// FBMPK the ABMC reorder. Plans are not safe for concurrent use; they
-// own scratch state. Close releases the worker pool.
+// FBMPK the ABMC reorder.
+//
+// After construction a Plan is an immutable preprocessed core — the
+// execution-order matrix, the triangular split, and the ABMC schedule
+// are never written again. Per-call scratch lives in pooled workspaces,
+// so a single Plan is safe for concurrent use by any number of
+// goroutines; executions are admitted through a fair FIFO gate (see
+// Options.MaxInFlight). Close drains in-flight executions and fails
+// later calls with ErrClosed.
 type Plan struct {
 	opt  Options
 	n    int
@@ -86,10 +104,18 @@ type Plan struct {
 	ord  *reorder.ABMCResult // non-nil when ABMC was applied
 	pool *parallel.Pool      // non-nil when Threads > 1
 	fb   *FBParallel         // non-nil for parallel FB
+	fbm  *FBParallelMulti    // batched executor over fb
+	sym  *SymGSParallel      // parallel smoother (pool + ABMC plans)
 
-	px []float64 // permutation scratch for the input vector
+	// Nonzero counts of the execution-order matrix and its split, the
+	// denominators of the traffic accounting (nnzD counts explicitly
+	// stored diagonal entries: nnzA - nnzL - nnzU).
+	nnzA, nnzL, nnzU, nnzD uint64
 
-	symgs *SymGSParallel // lazily built parallel smoother
+	gate    *parallel.Gate
+	wsPool  sync.Pool
+	metrics planMetrics
+
 	stats PlanStats
 }
 
@@ -103,8 +129,12 @@ type PlanStats struct {
 }
 
 // NewPlan prepares an executor for the square matrix a. The input
-// matrix is not modified; reordering works on a copy.
-func NewPlan(a *sparse.CSR, opt Options) (*Plan, error) {
+// matrix is not modified; reordering works on a copy. With no options
+// the plan runs the paper's FBMPK configuration serially
+// (DefaultOptions(0)); pass an Options value (which applies wholesale)
+// or individual With* options to override.
+func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
+	opt := BuildOptions(opts...)
 	if a == nil {
 		return nil, fmt.Errorf("core: NewPlan: nil matrix: %w", ErrInvalidMatrix)
 	}
@@ -150,7 +180,6 @@ func NewPlan(a *sparse.CSR, opt Options) (*Plan, error) {
 		p.stats.NumBlocks = ord.NumBlocks()
 		p.ord = ord
 		p.a = b
-		p.px = make([]float64, p.n)
 	}
 	if opt.Engine == EngineForwardBackward {
 		start := time.Now()
@@ -161,8 +190,14 @@ func NewPlan(a *sparse.CSR, opt Options) (*Plan, error) {
 		p.stats.SplitTime = time.Since(start)
 		p.tri = tri
 	}
+	p.nnzA = uint64(len(p.a.Val))
+	if p.tri != nil {
+		p.nnzL = uint64(len(p.tri.L.Val))
+		p.nnzU = uint64(len(p.tri.U.Val))
+		p.nnzD = p.nnzA - p.nnzL - p.nnzU
+	}
 	if parallelRun {
-		p.pool = parallel.NewPool(opt.Threads)
+		p.pool = parallel.NewPoolNamed(opt.Threads, "plan")
 		if opt.Engine == EngineForwardBackward {
 			fb, err := NewFBParallel(p.tri, p.ord, p.pool)
 			if err != nil {
@@ -170,8 +205,26 @@ func NewPlan(a *sparse.CSR, opt Options) (*Plan, error) {
 				return nil, err
 			}
 			p.fb = fb
+			p.fbm = NewFBParallelMulti(fb)
+		}
+		if p.tri != nil && p.ord != nil {
+			// Build the parallel smoother eagerly: a lazily built one
+			// would be mutable state racing under concurrent SymGS calls.
+			sym, err := NewSymGSParallel(p.tri, p.ord, p.pool)
+			if err != nil {
+				p.pool.Close()
+				return nil, err
+			}
+			p.sym = sym
 		}
 	}
+	capacity := opt.MaxInFlight
+	if p.pool != nil {
+		capacity = 1
+	} else if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	p.gate = parallel.NewGate(capacity)
 	if opt.SelfCheck {
 		if err := p.audit(); err != nil {
 			p.Close()
@@ -203,8 +256,12 @@ func (p *Plan) audit() error {
 	return nil
 }
 
-// Close releases the plan's worker pool (no-op for serial plans).
+// Close retires the plan: later calls fail with ErrClosed, executions
+// already admitted (and callers already queued at the gate) run to
+// completion, and once the plan has drained the worker pool is
+// released. Safe to call concurrently with executions; idempotent.
 func (p *Plan) Close() {
+	p.gate.Close()
 	if p.pool != nil {
 		p.pool.Close()
 	}
@@ -216,6 +273,11 @@ func (p *Plan) N() int { return p.n }
 // Stats returns the preprocessing cost breakdown of plan construction.
 func (p *Plan) Stats() PlanStats { return p.stats }
 
+// Metrics returns a point-in-time snapshot of the plan's execution
+// counters; see PlanMetrics. Safe to call at any time, including
+// concurrently with executions.
+func (p *Plan) Metrics() PlanMetrics { return p.metrics.snapshot(p.nnzA) }
+
 // Ordering returns the ABMC result when reordering was applied, else
 // nil. The matrix held by the plan is in this ordering.
 func (p *Plan) Ordering() *reorder.ABMCResult { return p.ord }
@@ -224,11 +286,101 @@ func (p *Plan) Ordering() *reorder.ABMCResult { return p.ord }
 // was applied). Callers must not modify it.
 func (p *Plan) Matrix() *sparse.CSR { return p.a }
 
+// exec is the admission wrapper every entry point runs through: it
+// takes a gate slot (FIFO-fair, failing with ErrClosed after Close and
+// with ctx.Err() if the context fires while queued), bridges ctx to the
+// kernel cancel flag, loans the caller a pooled workspace, and settles
+// the metrics. fn returns the analytic work it performed, counted only
+// on success.
+func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *runEnv) (work, error)) error {
+	if err := p.gate.Enter(ctx); err != nil {
+		if errors.Is(err, parallel.ErrClosed) {
+			p.metrics.rejected.Add(1)
+			return fmt.Errorf("core: %s: %w", op, ErrClosed)
+		}
+		p.metrics.canceled.Add(1)
+		return fmt.Errorf("core: %s: %w", op, err)
+	}
+	defer p.gate.Leave()
+	p.metrics.inflight.Add(1)
+	defer p.metrics.inflight.Add(-1)
+
+	env := &runEnv{met: &p.metrics}
+	if ctx != nil && ctx.Done() != nil {
+		// A context already done fails deterministically before any
+		// kernel work; one set mid-run is observed at barriers instead.
+		if err := ctx.Err(); err != nil {
+			p.metrics.canceled.Add(1)
+			return fmt.Errorf("core: %s canceled: %w", op, err)
+		}
+		flag := &cancelFlag{}
+		stop := context.AfterFunc(ctx, flag.set)
+		defer stop()
+		env.flag = flag
+	}
+	ws := p.acquire()
+	start := time.Now()
+	wk, err := fn(ws, env)
+	p.metrics.callNanos.Add(time.Since(start).Nanoseconds())
+	p.release(ws)
+	if err != nil {
+		if errors.Is(err, errCanceledRun) {
+			p.metrics.canceled.Add(1)
+			cause := context.Canceled
+			if ctx != nil && ctx.Err() != nil {
+				cause = ctx.Err()
+			}
+			return fmt.Errorf("core: %s canceled: %w", op, cause)
+		}
+		return err
+	}
+	p.metrics.calls[op].Add(1)
+	p.metrics.add(wk)
+	return nil
+}
+
+// fbNnz is the matrix traffic of a k-power forward-backward pipeline
+// pass: the head reads U once, each of the ceil(k/2) forward sweeps
+// reads L and D, each of the floor(k/2) backward sweeps reads U — the
+// (k+1)/2 "reads of A" result of Section III-B, independent of the
+// number of right-hand sides sharing the pass.
+func (p *Plan) fbNnz(k int) uint64 {
+	fwd := uint64(k+1) / 2
+	bwd := uint64(k) / 2
+	return p.nnzU + fwd*(p.nnzL+p.nnzD) + bwd*p.nnzU
+}
+
+// workPowers is the analytic work of computing k powers for m vectors
+// with the plan's engine.
+func (p *Plan) workPowers(k, m int) work {
+	wk := work{sweeps: uint64(k), spmvs: uint64(k) * uint64(m)}
+	if p.opt.Engine == EngineForwardBackward {
+		wk.nnz = p.fbNnz(k)
+	} else {
+		wk.nnz = uint64(k) * p.nnzA
+	}
+	return wk
+}
+
 // MPK computes A^k x0 and returns it in the ORIGINAL row ordering,
 // regardless of internal reordering.
 func (p *Plan) MPK(x0 []float64, k int) ([]float64, error) {
-	xk, _, err := p.run(x0, k, nil)
-	return xk, err
+	return p.MPKCtx(context.Background(), x0, k)
+}
+
+// MPKCtx is MPK honoring ctx: cancellation is observed while queued at
+// the admission gate and, once running, at every color-barrier
+// boundary of the pipeline, returning an error wrapping ctx.Err().
+func (p *Plan) MPKCtx(ctx context.Context, x0 []float64, k int) ([]float64, error) {
+	var xk []float64
+	err := p.exec(ctx, opMPK, func(ws *workspace, env *runEnv) (wk work, err error) {
+		xk, _, wk, err = p.run(ws, env, x0, k, nil)
+		return wk, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return xk, nil
 }
 
 // SymGS applies sweeps symmetric Gauss-Seidel iterations for A x = b,
@@ -238,37 +390,43 @@ func (p *Plan) MPK(x0 []float64, k int) ([]float64, error) {
 // Requires a forward-backward plan (the split is not built for the
 // standard engine). Rows with zero diagonal are skipped.
 func (p *Plan) SymGS(b, x []float64, sweeps int) error {
+	return p.SymGSCtx(context.Background(), b, x, sweeps)
+}
+
+// SymGSCtx is SymGS honoring ctx. On cancellation the contents of x
+// are unspecified.
+func (p *Plan) SymGSCtx(ctx context.Context, b, x []float64, sweeps int) error {
 	if p.tri == nil {
 		return fmt.Errorf("core: SymGS requires the forward-backward engine: %w", ErrNoSplit)
 	}
 	if len(b) != p.n || len(x) != p.n {
 		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", p.n, len(b), len(x), ErrDimension)
 	}
-	pb, pxv := b, x
-	if p.ord != nil {
-		pb = make([]float64, p.n)
-		pxv = make([]float64, p.n)
-		p.ord.Perm.ApplyVec(b, pb)
-		p.ord.Perm.ApplyVec(x, pxv)
-	}
-	if p.pool != nil && p.ord != nil {
-		if p.symgs == nil {
-			g, err := NewSymGSParallel(p.tri, p.ord, p.pool)
-			if err != nil {
-				return err
-			}
-			p.symgs = g
+	return p.exec(ctx, opSymGS, func(ws *workspace, env *runEnv) (work, error) {
+		pb, pxv := b, x
+		if p.ord != nil {
+			pb = ws.vec(p.n)
+			pxv = ws.vec2(p.n)
+			p.ord.Perm.ApplyVec(b, pb)
+			p.ord.Perm.ApplyVec(x, pxv)
 		}
-		if err := p.symgs.Apply(pb, pxv, sweeps); err != nil {
-			return err
+		var err error
+		if p.sym != nil {
+			err = p.sym.apply(env, pb, pxv, sweeps)
+		} else {
+			err = symGSSerial(env, p.tri, pb, pxv, sweeps)
 		}
-	} else if err := SymGSSerial(p.tri, pb, pxv, sweeps); err != nil {
-		return err
-	}
-	if p.ord != nil {
-		p.ord.Perm.UnapplyVec(pxv, x)
-	}
-	return nil
+		if err != nil {
+			return work{}, err
+		}
+		if p.ord != nil {
+			p.ord.Perm.UnapplyVec(pxv, x)
+		}
+		// One symmetric sweep streams L, D, U twice (forward + backward
+		// half-sweeps): 2 nnzA per sweep, 2 SpMV-equivalents.
+		s := uint64(sweeps)
+		return work{sweeps: 2 * s, spmvs: 2 * s, nnz: 2 * s * p.nnzA}, nil
+	})
 }
 
 // MPKAll computes the full Krylov-style sequence x0, Ax0, ..., A^k x0
@@ -276,39 +434,52 @@ func (p *Plan) SymGS(b, x []float64, sweeps int) error {
 // building block of s-step Krylov methods (the related-work use case
 // of Section VI). Memory: allocates (k+1) n-vectors.
 func (p *Plan) MPKAll(x0 []float64, k int) ([][]float64, error) {
+	return p.MPKAllCtx(context.Background(), x0, k)
+}
+
+// MPKAllCtx is MPKAll honoring ctx.
+func (p *Plan) MPKAllCtx(ctx context.Context, x0 []float64, k int) ([][]float64, error) {
 	if len(x0) != p.n {
 		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
-	out := make([][]float64, k+1)
-	out[0] = sparse.CopyVec(x0)
-	hook := func(power int, x []float64) {
-		v := make([]float64, p.n)
-		if p.ord != nil {
-			p.ord.Perm.UnapplyVec(x, v)
-		} else {
-			copy(v, x)
+	var out [][]float64
+	err := p.exec(ctx, opMPKAll, func(ws *workspace, env *runEnv) (work, error) {
+		out = make([][]float64, k+1)
+		out[0] = sparse.CopyVec(x0)
+		hook := func(power int, x []float64) {
+			v := make([]float64, p.n)
+			if p.ord != nil {
+				p.ord.Perm.UnapplyVec(x, v)
+			} else {
+				copy(v, x)
+			}
+			out[power] = v
 		}
-		out[power] = v
-	}
-	in := x0
-	if p.ord != nil {
-		p.ord.Perm.ApplyVec(x0, p.px)
-		in = p.px
-	}
-	var err error
-	switch {
-	case p.opt.Engine == EngineStandard && p.pool != nil:
-		_, err = StandardMPKParallel(p.a, in, k, p.pool, hook)
-	case p.opt.Engine == EngineStandard:
-		_, err = StandardMPK(p.a, in, k, hook)
-	case p.fb != nil:
-		_, _, err = p.fb.RunCapture(in, k, p.opt.BtB, nil, hook)
-	default:
-		_, _, err = FBMPKSerial(p.tri, in, k, p.opt.BtB, nil, hook)
-	}
+		in := x0
+		if p.ord != nil {
+			px := ws.vec(p.n)
+			p.ord.Perm.ApplyVec(x0, px)
+			in = px
+		}
+		var err error
+		switch {
+		case p.opt.Engine == EngineStandard && p.pool != nil:
+			_, err = standardMPKParallel(env, p.a, in, k, p.pool, hook)
+		case p.opt.Engine == EngineStandard:
+			_, err = standardMPK(env, p.a, in, k, hook)
+		case p.fb != nil:
+			_, _, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
+		default:
+			_, _, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, nil, hook)
+		}
+		if err != nil {
+			return work{}, err
+		}
+		return p.workPowers(k, 1), nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -321,28 +492,41 @@ func (p *Plan) MPKAll(x0 []float64, k int) ([][]float64, error) {
 // across vectors already amortizes the traffic the FB pipeline would
 // save across powers. Results come back in the original ordering.
 func (p *Plan) MPKBatch(xs [][]float64, k int) ([][]float64, error) {
-	in := xs
-	if p.ord != nil {
-		in = make([][]float64, len(xs))
-		for c, x := range xs {
-			if len(x) != p.n {
-				return nil, fmt.Errorf("core: vector %d length %d != n %d: %w", c, len(x), p.n, ErrDimension)
+	return p.MPKBatchCtx(context.Background(), xs, k)
+}
+
+// MPKBatchCtx is MPKBatch honoring ctx.
+func (p *Plan) MPKBatchCtx(ctx context.Context, xs [][]float64, k int) ([][]float64, error) {
+	var out [][]float64
+	err := p.exec(ctx, opMPKBatch, func(ws *workspace, env *runEnv) (work, error) {
+		in := xs
+		if p.ord != nil {
+			in = make([][]float64, len(xs))
+			for c, x := range xs {
+				if len(x) != p.n {
+					return work{}, fmt.Errorf("core: vector %d length %d != n %d: %w", c, len(x), p.n, ErrDimension)
+				}
+				px := make([]float64, p.n)
+				p.ord.Perm.ApplyVec(x, px)
+				in[c] = px
 			}
-			px := make([]float64, p.n)
-			p.ord.Perm.ApplyVec(x, px)
-			in[c] = px
 		}
-	}
-	out, err := StandardMPKBatch(p.a, in, k)
+		var err error
+		out, err = standardMPKBatch(env, p.a, in, k)
+		if err != nil {
+			return work{}, err
+		}
+		if p.ord != nil {
+			for c := range out {
+				v := make([]float64, p.n)
+				p.ord.Perm.UnapplyVec(out[c], v)
+				out[c] = v
+			}
+		}
+		return work{sweeps: uint64(k), spmvs: uint64(k) * uint64(len(xs)), nnz: uint64(k) * p.nnzA}, nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	if p.ord != nil {
-		for c := range out {
-			v := make([]float64, p.n)
-			p.ord.Perm.UnapplyVec(out[c], v)
-			out[c] = v
-		}
 	}
 	return out, nil
 }
@@ -356,8 +540,20 @@ func (p *Plan) MPKBatch(xs [][]float64, k int) ([][]float64, error) {
 // Standard-engine plans fall back to the SpMM block path, which
 // amortizes across vectors but not across powers.
 func (p *Plan) MPKMulti(xs [][]float64, k int) ([][]float64, error) {
-	xks, _, err := p.runMulti(xs, k, nil)
-	return xks, err
+	return p.MPKMultiCtx(context.Background(), xs, k)
+}
+
+// MPKMultiCtx is MPKMulti honoring ctx.
+func (p *Plan) MPKMultiCtx(ctx context.Context, xs [][]float64, k int) ([][]float64, error) {
+	var xks [][]float64
+	err := p.exec(ctx, opMPKMulti, func(ws *workspace, env *runEnv) (wk work, err error) {
+		xks, _, wk, err = p.runMulti(ws, env, xs, k, nil)
+		return wk, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return xks, nil
 }
 
 // SSpMVMulti computes, for every start vector x_j in the block,
@@ -366,6 +562,11 @@ func (p *Plan) MPKMulti(xs [][]float64, k int) ([][]float64, error) {
 // ordering. The same coefficients apply to every vector (the block
 // polynomial-filter case of s-step and block Krylov methods).
 func (p *Plan) SSpMVMulti(coeffs []float64, xs [][]float64) ([][]float64, error) {
+	return p.SSpMVMultiCtx(context.Background(), coeffs, xs)
+}
+
+// SSpMVMultiCtx is SSpMVMulti honoring ctx.
+func (p *Plan) SSpMVMultiCtx(ctx context.Context, coeffs []float64, xs [][]float64) ([][]float64, error) {
 	if len(coeffs) == 0 {
 		return nil, fmt.Errorf("core: SSpMVMulti needs at least one coefficient: %w", ErrBadCoeffs)
 	}
@@ -391,15 +592,23 @@ func (p *Plan) SSpMVMulti(coeffs []float64, xs [][]float64) ([][]float64, error)
 		}
 		return out, nil
 	}
-	_, combos, err := p.runMulti(xs, len(coeffs)-1, coeffs)
-	return combos, err
+	var combos [][]float64
+	err := p.exec(ctx, opSSpMVMulti, func(ws *workspace, env *runEnv) (wk work, err error) {
+		_, combos, wk, err = p.runMulti(ws, env, xs, len(coeffs)-1, coeffs)
+		return wk, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return combos, nil
 }
 
 // runMulti dispatches a batched run to the engine the plan selected,
 // handling the ABMC permutation on both sides.
-func (p *Plan) runMulti(xs [][]float64, k int, coeffs []float64) (xks, combos [][]float64, err error) {
-	if _, _, err := checkMulti(p.n, xs, k, coeffs); err != nil {
-		return nil, nil, err
+func (p *Plan) runMulti(ws *workspace, env *runEnv, xs [][]float64, k int, coeffs []float64) (xks, combos [][]float64, wk work, err error) {
+	var m int
+	if _, m, err = checkMulti(p.n, xs, k, coeffs); err != nil {
+		return nil, nil, work{}, err
 	}
 	in := xs
 	if p.ord != nil {
@@ -410,25 +619,31 @@ func (p *Plan) runMulti(xs [][]float64, k int, coeffs []float64) (xks, combos []
 			in[j] = px
 		}
 	}
+	wk = p.workPowers(k, m)
 	switch {
 	case p.opt.Engine == EngineStandard:
-		xks, err = StandardMPKBatch(p.a, in, k)
+		xks, err = standardMPKBatch(env, p.a, in, k)
 		if err == nil && coeffs != nil {
+			// The combo needs the intermediate powers the SpMM sweep does
+			// not retain, so the standard path re-runs per vector: m extra
+			// k-power sweeps of matrix traffic.
+			wk.sweeps += uint64(k) * uint64(m)
+			wk.nnz += uint64(k) * uint64(m) * p.nnzA
 			combos = make([][]float64, len(in))
 			for j, x := range in {
-				combos[j], err = SSpMVStandard(p.a, coeffs, x)
+				combos[j], err = sspmvStandard(env, p.a, coeffs, x)
 				if err != nil {
 					break
 				}
 			}
 		}
-	case p.fb != nil:
-		xks, combos, err = NewFBParallelMulti(p.fb).Run(in, k, p.opt.BtB, coeffs)
+	case p.fbm != nil:
+		xks, combos, err = p.fbm.run(ws.fbMulti(p.n, m, p.opt.BtB), env, in, k, p.opt.BtB, coeffs)
 	default:
-		xks, combos, err = FBMPKSerialMulti(p.tri, in, k, p.opt.BtB, coeffs)
+		xks, combos, err = fbmpkSerialMulti(ws.fbMulti(p.n, m, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, coeffs)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, work{}, err
 	}
 	if p.ord != nil {
 		unperm := func(vs [][]float64) {
@@ -443,13 +658,18 @@ func (p *Plan) runMulti(xs [][]float64, k int, coeffs []float64) (xks, combos []
 			unperm(combos)
 		}
 	}
-	return xks, combos, nil
+	return xks, combos, wk, nil
 }
 
 // SSpMV computes sum_{i=0..len(coeffs)-1} coeffs[i] * A^i * x0 in the
 // original row ordering. len(coeffs) must be at least 2 for the FB
 // engine (use a plain AXPY for degree-0 polynomials).
 func (p *Plan) SSpMV(coeffs, x0 []float64) ([]float64, error) {
+	return p.SSpMVCtx(context.Background(), coeffs, x0)
+}
+
+// SSpMVCtx is SSpMV honoring ctx.
+func (p *Plan) SSpMVCtx(ctx context.Context, coeffs, x0 []float64) ([]float64, error) {
 	if len(coeffs) == 0 {
 		return nil, fmt.Errorf("core: SSpMV needs at least one coefficient: %w", ErrBadCoeffs)
 	}
@@ -464,8 +684,15 @@ func (p *Plan) SSpMV(coeffs, x0 []float64) ([]float64, error) {
 		}
 		return y, nil
 	}
-	_, combo, err := p.run(x0, len(coeffs)-1, coeffs)
-	return combo, err
+	var combo []float64
+	err := p.exec(ctx, opSSpMV, func(ws *workspace, env *runEnv) (wk work, err error) {
+		_, combo, wk, err = p.run(ws, env, x0, len(coeffs)-1, coeffs)
+		return wk, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return combo, nil
 }
 
 // SSpMVComplex evaluates y = sum coeffs[i] * A^i * x0 for complex
@@ -473,6 +700,11 @@ func (p *Plan) SSpMV(coeffs, x0 []float64) ([]float64, error) {
 // constants", Section I). A is real, so y splits into independent real
 // and imaginary combinations accumulated in one pipeline pass.
 func (p *Plan) SSpMVComplex(coeffs []complex128, x0 []float64) (re, im []float64, err error) {
+	return p.SSpMVComplexCtx(context.Background(), coeffs, x0)
+}
+
+// SSpMVComplexCtx is SSpMVComplex honoring ctx.
+func (p *Plan) SSpMVComplexCtx(ctx context.Context, coeffs []complex128, x0 []float64) (re, im []float64, err error) {
 	if len(coeffs) == 0 {
 		return nil, nil, fmt.Errorf("core: SSpMVComplex needs at least one coefficient: %w", ErrBadCoeffs)
 	}
@@ -488,70 +720,82 @@ func (p *Plan) SSpMVComplex(coeffs []complex128, x0 []float64) (re, im []float64
 	if len(coeffs) == 1 {
 		return re, im, nil
 	}
-	// The hook sees iterates in the plan's execution ordering, so for
-	// reordered plans the accumulators move into permuted space first
-	// and the results unpermute once at the end.
 	k := len(coeffs) - 1
-	hook := func(power int, x []float64) {
-		if c := real(coeffs[power]); c != 0 {
-			sparse.AXPY(c, x, re)
+	err = p.exec(ctx, opSSpMVComplex, func(ws *workspace, env *runEnv) (work, error) {
+		// The hook sees iterates in the plan's execution ordering, so for
+		// reordered plans the accumulators move into permuted space first
+		// and the results unpermute once at the end.
+		hook := func(power int, x []float64) {
+			if c := real(coeffs[power]); c != 0 {
+				sparse.AXPY(c, x, re)
+			}
+			if c := imag(coeffs[power]); c != 0 {
+				sparse.AXPY(c, x, im)
+			}
 		}
-		if c := imag(coeffs[power]); c != 0 {
-			sparse.AXPY(c, x, im)
+		in := x0
+		if p.ord != nil {
+			px := ws.vec(p.n)
+			p.ord.Perm.ApplyVec(x0, px)
+			in = px
+			pre := make([]float64, p.n)
+			pim := make([]float64, p.n)
+			p.ord.Perm.ApplyVec(re, pre)
+			p.ord.Perm.ApplyVec(im, pim)
+			re, im = pre, pim
 		}
-	}
-	in := x0
-	if p.ord != nil {
-		p.ord.Perm.ApplyVec(x0, p.px)
-		in = p.px
-	}
-	// For reordered plans the hook sees permuted iterates; accumulate
-	// in permuted space and unpermute the results once at the end.
-	if p.ord != nil {
-		pre := make([]float64, p.n)
-		pim := make([]float64, p.n)
-		p.ord.Perm.ApplyVec(re, pre)
-		p.ord.Perm.ApplyVec(im, pim)
-		re, im = pre, pim
-	}
-	switch {
-	case p.opt.Engine == EngineStandard && p.pool != nil:
-		_, err = StandardMPKParallel(p.a, in, k, p.pool, hook)
-	case p.opt.Engine == EngineStandard:
-		_, err = StandardMPK(p.a, in, k, hook)
-	case p.fb != nil:
-		_, _, err = p.fb.RunCapture(in, k, p.opt.BtB, nil, hook)
-	default:
-		_, _, err = FBMPKSerial(p.tri, in, k, p.opt.BtB, nil, hook)
-	}
+		var err error
+		switch {
+		case p.opt.Engine == EngineStandard && p.pool != nil:
+			_, err = standardMPKParallel(env, p.a, in, k, p.pool, hook)
+		case p.opt.Engine == EngineStandard:
+			_, err = standardMPK(env, p.a, in, k, hook)
+		case p.fb != nil:
+			_, _, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
+		default:
+			_, _, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, nil, hook)
+		}
+		if err != nil {
+			return work{}, err
+		}
+		if p.ord != nil {
+			ore := make([]float64, p.n)
+			oim := make([]float64, p.n)
+			p.ord.Perm.UnapplyVec(re, ore)
+			p.ord.Perm.UnapplyVec(im, oim)
+			re, im = ore, oim
+		}
+		return p.workPowers(k, 1), nil
+	})
 	if err != nil {
 		return nil, nil, err
-	}
-	if p.ord != nil {
-		ore := make([]float64, p.n)
-		oim := make([]float64, p.n)
-		p.ord.Perm.UnapplyVec(re, ore)
-		p.ord.Perm.UnapplyVec(im, oim)
-		re, im = ore, oim
 	}
 	return re, im, nil
 }
 
-func (p *Plan) run(x0 []float64, k int, coeffs []float64) (xk, combo []float64, err error) {
+// run dispatches a single-vector run to the engine the plan selected,
+// handling the ABMC permutation on both sides.
+func (p *Plan) run(ws *workspace, env *runEnv, x0 []float64, k int, coeffs []float64) (xk, combo []float64, wk work, err error) {
 	if len(x0) != p.n {
-		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
+		return nil, nil, work{}, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
 	}
 	in := x0
 	if p.ord != nil {
-		p.ord.Perm.ApplyVec(x0, p.px)
-		in = p.px
+		px := ws.vec(p.n)
+		p.ord.Perm.ApplyVec(x0, px)
+		in = px
 	}
 
+	wk = p.workPowers(k, 1)
 	switch {
 	case p.opt.Engine == EngineStandard && p.pool != nil:
-		xk, err = StandardMPKParallel(p.a, in, k, p.pool, nil)
+		xk, err = standardMPKParallel(env, p.a, in, k, p.pool, nil)
 		if err == nil && coeffs != nil {
-			combo, err = p.standardCombo(in, coeffs)
+			// The parallel standard engine retains no iterates, so the
+			// combo re-runs the power sweep: double the matrix traffic.
+			wk.sweeps += uint64(k)
+			wk.nnz += uint64(k) * p.nnzA
+			combo, err = p.standardCombo(env, in, coeffs)
 		}
 	case p.opt.Engine == EngineStandard:
 		var hook IterateFunc
@@ -566,14 +810,14 @@ func (p *Plan) run(x0 []float64, k int, coeffs []float64) (xk, combo []float64, 
 				}
 			}
 		}
-		xk, err = StandardMPK(p.a, in, k, hook)
+		xk, err = standardMPK(env, p.a, in, k, hook)
 	case p.fb != nil:
-		xk, combo, err = p.fb.Run(in, k, p.opt.BtB, coeffs)
+		xk, combo, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, coeffs, nil)
 	default:
-		xk, combo, err = FBMPKSerial(p.tri, in, k, p.opt.BtB, coeffs, nil)
+		xk, combo, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, coeffs, nil)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, work{}, err
 	}
 	if p.ord != nil {
 		out := make([]float64, p.n)
@@ -585,17 +829,17 @@ func (p *Plan) run(x0 []float64, k int, coeffs []float64) (xk, combo []float64, 
 			combo = cout
 		}
 	}
-	return xk, combo, nil
+	return xk, combo, wk, nil
 }
 
 // standardCombo evaluates the SSpMV combination with the parallel
 // standard engine by re-running the power sweep with a capture hook.
-func (p *Plan) standardCombo(in []float64, coeffs []float64) ([]float64, error) {
+func (p *Plan) standardCombo(env *runEnv, in []float64, coeffs []float64) ([]float64, error) {
 	combo := make([]float64, p.n)
 	for i := range combo {
 		combo[i] = coeffs[0] * in[i]
 	}
-	_, err := StandardMPKParallel(p.a, in, len(coeffs)-1, p.pool, func(power int, x []float64) {
+	_, err := standardMPKParallel(env, p.a, in, len(coeffs)-1, p.pool, func(power int, x []float64) {
 		if c := coeffs[power]; c != 0 {
 			sparse.AXPY(c, x, combo)
 		}

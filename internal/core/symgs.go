@@ -26,6 +26,12 @@ import (
 // x entry is left unchanged), matching common practice for
 // saddle-point test matrices.
 func SymGSSerial(tri *sparse.Triangular, b, x []float64, sweeps int) error {
+	return symGSSerial(nil, tri, b, x, sweeps)
+}
+
+// symGSSerial is SymGSSerial with a run environment (cancellation
+// checked once per sweep).
+func symGSSerial(env *runEnv, tri *sparse.Triangular, b, x []float64, sweeps int) error {
 	n := tri.N
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", n, len(b), len(x), ErrDimension)
@@ -34,6 +40,9 @@ func SymGSSerial(tri *sparse.Triangular, b, x []float64, sweeps int) error {
 		return fmt.Errorf("core: SymGS sweeps=%d: %w", sweeps, ErrBadSweeps)
 	}
 	for s := 0; s < sweeps; s++ {
+		if env.canceled() {
+			return errCanceledRun
+		}
 		symGSForwardRange(tri, b, x, 0, n)
 		symGSBackwardRange(tri, b, x, 0, n)
 	}
@@ -119,6 +128,14 @@ func NewSymGSParallel(tri *sparse.Triangular, ord *reorder.ABMCResult, pool *par
 
 // Apply runs sweeps SYMGS iterations on x in place.
 func (g *SymGSParallel) Apply(b, x []float64, sweeps int) error {
+	return g.apply(nil, b, x, sweeps)
+}
+
+// apply is Apply with a run environment; the cancellation protocol is
+// the skip-mode scheme of FBParallel.runCapture (workers keep crossing
+// every barrier of the schedule once they observe the flag, they just
+// stop computing).
+func (g *SymGSParallel) apply(env *runEnv, b, x []float64, sweeps int) error {
 	n := g.tri.N
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", n, len(b), len(x), ErrDimension)
@@ -128,20 +145,40 @@ func (g *SymGSParallel) Apply(b, x []float64, sweeps int) error {
 	}
 	nc := g.ord.NumColors
 	g.pool.Run(func(id int) {
+		clock := env.clock()
+		skip := false
 		for s := 0; s < sweeps; s++ {
 			for c := 0; c < nc; c++ {
-				bb := g.colorBounds[c]
-				lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
-				symGSForwardRange(g.tri, b, x, lo, hi)
+				if !skip {
+					bb := g.colorBounds[c]
+					lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
+					symGSForwardRange(g.tri, b, x, lo, hi)
+				}
+				clock.endCompute(phaseSymGS)
 				g.bar.Wait()
+				clock.endWait(phaseSymGS)
+				if !skip && env.canceled() {
+					skip = true
+				}
 			}
 			for c := nc - 1; c >= 0; c-- {
-				bb := g.colorBounds[c]
-				lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
-				symGSBackwardRange(g.tri, b, x, lo, hi)
+				if !skip {
+					bb := g.colorBounds[c]
+					lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
+					symGSBackwardRange(g.tri, b, x, lo, hi)
+				}
+				clock.endCompute(phaseSymGS)
 				g.bar.Wait()
+				clock.endWait(phaseSymGS)
+				if !skip && env.canceled() {
+					skip = true
+				}
 			}
 		}
+		clock.flush()
 	})
+	if env.canceled() {
+		return errCanceledRun
+	}
 	return nil
 }

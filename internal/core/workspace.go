@@ -1,0 +1,96 @@
+package core
+
+// workspace is the per-call mutable scratch of a Plan: permutation
+// buffers and the forward-backward pipeline state. The Plan itself is
+// an immutable preprocessed core after construction (matrix in
+// execution order, triangular split, ABMC schedule); every execution
+// acquires a workspace from a sync.Pool, so any number of goroutines
+// can share one Plan without sharing scratch. Workspaces are reused
+// without zeroing: every kernel fully writes its buffers before
+// reading them (the head SpMV overwrites tmp, the init phase
+// overwrites the live iterate, and the sweeps only read slots written
+// earlier in the same pass), which is the same guarantee a freshly
+// allocated state relies on.
+type workspace struct {
+	px  []float64 // permutation scratch (input side)
+	py  []float64 // second permutation scratch (SymGS x, complex SSpMV)
+	st  *fbState
+	mst *fbMultiState
+}
+
+// ensureLen returns s resized to length n, reusing its backing array
+// when the capacity allows.
+func ensureLen(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
+}
+
+// vec returns the n-length px scratch.
+func (ws *workspace) vec(n int) []float64 {
+	ws.px = ensureLen(ws.px, n)
+	return ws.px
+}
+
+// vec2 returns the n-length py scratch.
+func (ws *workspace) vec2(n int) []float64 {
+	ws.py = ensureLen(ws.py, n)
+	return ws.py
+}
+
+// fb returns the single-vector pipeline state for dimension n and the
+// given layout, reusing the cached one when it matches.
+func (ws *workspace) fb(n int, btb bool) *fbState {
+	st := ws.st
+	if st == nil {
+		st = &fbState{}
+		ws.st = st
+	}
+	st.tmp = ensureLen(st.tmp, n)
+	if btb {
+		st.xy = ensureLen(st.xy, 2*n)
+		st.a, st.b = nil, nil
+	} else {
+		st.a = ensureLen(st.a, n)
+		st.b = ensureLen(st.b, n)
+		st.xy = nil
+	}
+	return st
+}
+
+// fbMulti returns the m-vector pipeline state for dimension n,
+// growing the cached buffers when the block width demands it.
+func (ws *workspace) fbMulti(n, m int, btb bool) *fbMultiState {
+	st := ws.mst
+	if st == nil {
+		st = &fbMultiState{}
+		ws.mst = st
+	}
+	st.tmp = ensureLen(st.tmp, n*m)
+	st.x0b = ensureLen(st.x0b, n*m)
+	if btb {
+		st.xy = ensureLen(st.xy, 2*n*m)
+		st.a, st.b = nil, nil
+	} else {
+		st.a = ensureLen(st.a, n*m)
+		st.b = ensureLen(st.b, n*m)
+		st.xy = nil
+	}
+	return st
+}
+
+// acquire takes a workspace from the plan's pool (allocating the first
+// time); release returns it. The pool bounds steady-state allocation:
+// a serving process touching one plan from G goroutines keeps at most
+// max-in-flight workspaces alive.
+func (p *Plan) acquire() *workspace {
+	if ws, ok := p.wsPool.Get().(*workspace); ok {
+		return ws
+	}
+	return &workspace{}
+}
+
+func (p *Plan) release(ws *workspace) {
+	p.wsPool.Put(ws)
+}

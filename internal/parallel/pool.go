@@ -6,7 +6,10 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 )
 
@@ -16,6 +19,7 @@ import (
 // region per MPK call and synchronizes colors with a Barrier inside.
 type Pool struct {
 	workers int
+	name    string
 	jobs    []chan func(id int)
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -26,11 +30,20 @@ type Pool struct {
 // NewPool starts a pool with the given number of workers; n <= 0
 // selects GOMAXPROCS. The pool must be released with Close.
 func NewPool(n int) *Pool {
+	return NewPoolNamed(n, "pool")
+}
+
+// NewPoolNamed is NewPool with a name that tags the worker goroutines
+// with pprof labels ("fbmpk_pool" = name, "fbmpk_worker" = id), so CPU
+// profiles of a serving process attribute kernel time to the pool and
+// worker that spent it.
+func NewPoolNamed(n int, name string) *Pool {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	p := &Pool{
 		workers: n,
+		name:    name,
 		jobs:    make([]chan func(id int), n),
 		done:    make(chan struct{}),
 	}
@@ -44,7 +57,12 @@ func NewPool(n int) *Pool {
 // Workers returns the worker count.
 func (p *Pool) Workers() int { return p.workers }
 
+// Name returns the pool's pprof label name.
+func (p *Pool) Name() string { return p.name }
+
 func (p *Pool) worker(id int) {
+	labels := pprof.Labels("fbmpk_pool", p.name, "fbmpk_worker", strconv.Itoa(id))
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), labels))
 	for {
 		select {
 		case f := <-p.jobs[id]:

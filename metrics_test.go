@@ -1,0 +1,157 @@
+package fbmpk
+
+// PlanMetrics accounting contract: the traffic counters must reproduce
+// the paper's headline result — the FB engine reads A about (k+1)/2
+// times for k SpMVs ((k+1)/(2k) reads per SpMV), the standard engine
+// exactly once per SpMV — and the snapshot must round-trip as the JSON
+// an expvar integration would publish.
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPlanMetricsReadsPerSpMV(t *testing.T) {
+	a, err := GenerateSuiteMatrix("cant", 0.004, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	x0 := randVec(rng, a.Rows)
+	const k = 8
+
+	fb, err := NewPlan(a) // serial FBMPK defaults
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := fb.MPK(x0, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := fb.Metrics()
+	if m.SpMVs != 3*k {
+		t.Fatalf("SpMVs = %d, want %d", m.SpMVs, 3*k)
+	}
+	if m.CallsByOp["mpk"] != 3 {
+		t.Fatalf("CallsByOp[mpk] = %d, want 3", m.CallsByOp["mpk"])
+	}
+	// Headline check: (k+1)/(2k) reads of A per SpMV. The exact value
+	// depends on the L/D/U balance of the matrix (the diagonal streams
+	// with every forward sweep, the head pass adds one read of U), so
+	// allow 15%.
+	want := float64(k+1) / float64(2*k)
+	if math.Abs(m.ReadsPerSpMV-want)/want > 0.15 {
+		t.Errorf("FB ReadsPerSpMV = %.4f, want about %.4f", m.ReadsPerSpMV, want)
+	}
+	if m.ReadsPerSpMV >= 1 {
+		t.Errorf("FB ReadsPerSpMV = %.4f, must beat the standard engine's 1", m.ReadsPerSpMV)
+	}
+
+	std, err := NewPlan(a, WithEngine(EngineStandard), WithBtB(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer std.Close()
+	if _, err := std.MPK(x0, k); err != nil {
+		t.Fatal(err)
+	}
+	sm := std.Metrics()
+	if math.Abs(sm.ReadsPerSpMV-1) > 1e-12 {
+		t.Errorf("standard ReadsPerSpMV = %.6f, want exactly 1", sm.ReadsPerSpMV)
+	}
+
+	// The multi-RHS pipeline amortizes the same traffic over m vectors.
+	mr, err := NewPlan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Close()
+	const mvecs = 4
+	xs := make([][]float64, mvecs)
+	for j := range xs {
+		xs[j] = randVec(rng, a.Rows)
+	}
+	if _, err := mr.MPKMulti(xs, k); err != nil {
+		t.Fatal(err)
+	}
+	mm := mr.Metrics()
+	if mm.SpMVs != k*mvecs {
+		t.Fatalf("multi SpMVs = %d, want %d", mm.SpMVs, k*mvecs)
+	}
+	wantMulti := want / mvecs
+	if math.Abs(mm.ReadsPerSpMV-wantMulti)/wantMulti > 0.15 {
+		t.Errorf("multi ReadsPerSpMV = %.4f, want about %.4f", mm.ReadsPerSpMV, wantMulti)
+	}
+}
+
+func TestPlanMetricsSymGSAndTime(t *testing.T) {
+	a, err := GenerateSuiteMatrix("pwtk", 0.002, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(a, WithThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rng := rand.New(rand.NewSource(8))
+	b := randVec(rng, a.Rows)
+	x := randVec(rng, a.Rows)
+	const sweeps = 3
+	if err := p.SymGS(b, x, sweeps); err != nil {
+		t.Fatal(err)
+	}
+	m := p.Metrics()
+	if m.CallsByOp["symgs"] != 1 {
+		t.Fatalf("CallsByOp[symgs] = %d, want 1", m.CallsByOp["symgs"])
+	}
+	// One symmetric sweep = forward + backward half-sweep = 2 reads of
+	// A, 2 SpMV-equivalents; the per-SpMV ratio is exactly 1.
+	if m.SpMVs != 2*sweeps {
+		t.Errorf("SpMVs = %d, want %d", m.SpMVs, 2*sweeps)
+	}
+	if math.Abs(m.ReadsPerSpMV-1) > 1e-12 {
+		t.Errorf("SymGS ReadsPerSpMV = %.6f, want exactly 1", m.ReadsPerSpMV)
+	}
+	if m.CallTime <= 0 {
+		t.Error("CallTime not recorded")
+	}
+	if m.ComputeTime <= 0 && m.WaitTime <= 0 {
+		t.Error("parallel phase clocks recorded no time at all")
+	}
+	if _, ok := m.PhaseCompute["symgs"]; !ok {
+		t.Errorf("PhaseCompute = %v, missing symgs phase", m.PhaseCompute)
+	}
+}
+
+// TestPlanMetricsString checks the expvar contract: String returns the
+// JSON encoding of the snapshot.
+func TestPlanMetricsString(t *testing.T) {
+	a, err := GenerateSuiteMatrix("cant", 0.002, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	rng := rand.New(rand.NewSource(4))
+	if _, err := p.MPK(randVec(rng, a.Rows), 3); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	s := p.Metrics().String()
+	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
+		t.Fatalf("String() is not valid JSON: %v\n%s", err, s)
+	}
+	for _, key := range []string{"calls", "spmvs", "nnz_streamed", "matrix_nnz", "reads_of_a_per_spmv"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("metrics JSON missing %q: %s", key, s)
+		}
+	}
+}

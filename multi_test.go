@@ -87,7 +87,8 @@ func TestRunMultiMatchesIndependentSuite(t *testing.T) {
 	}
 }
 
-// TestRunMultiOneShot covers the package-level one-shot wrappers.
+// TestRunMultiOneShot covers the package-level one-shot wrappers,
+// including the deprecated RunMulti alias of MPKMulti.
 func TestRunMultiOneShot(t *testing.T) {
 	a, err := GenerateSuiteMatrix("cant", 0.002, 4)
 	if err != nil {
@@ -95,7 +96,11 @@ func TestRunMultiOneShot(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(11))
 	xs := randTestBlock(rng, a.Rows, 4)
-	got, err := RunMulti(a, xs, 3, DefaultOptions(2))
+	got, err := MPKMulti(a, xs, 3, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased, err := RunMulti(a, xs, 3, DefaultOptions(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,6 +111,9 @@ func TestRunMultiOneShot(t *testing.T) {
 		}
 		if d := relMaxDiffTest(got[j], want); d > 1e-12 {
 			t.Fatalf("vector %d: rel diff %g", j, d)
+		}
+		if d := relMaxDiffTest(aliased[j], got[j]); d != 0 {
+			t.Fatalf("RunMulti alias diverges from MPKMulti on vector %d by %g", j, d)
 		}
 	}
 	coeffs := []float64{1, 0.5, 0.25}

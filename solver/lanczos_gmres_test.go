@@ -12,7 +12,10 @@ import (
 func diagPlan(t *testing.T, diag []float64) *fbmpk.Plan {
 	t.Helper()
 	n := len(diag)
-	tr := fbmpk.NewTriplets(n, n, n)
+	tr, err := fbmpk.NewTriplets(n, n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range diag {
 		tr.Add(i, i, v)
 	}

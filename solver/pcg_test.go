@@ -120,7 +120,10 @@ func TestPCGEdgeCases(t *testing.T) {
 }
 
 func TestJacobiPreconditionerZeroDiag(t *testing.T) {
-	tr := fbmpk.NewTriplets(2, 2, 1)
+	tr, err := fbmpk.NewTriplets(2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr.Add(0, 0, 4)
 	// Row 1 has no diagonal entry.
 	a := tr.ToCSR()

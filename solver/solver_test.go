@@ -211,7 +211,10 @@ func TestNeumannSeriesMatchesLoop(t *testing.T) {
 
 func TestPowerMethodFindsDominantEigenvalue(t *testing.T) {
 	// Diagonal matrix with known spectrum.
-	tr := fbmpk.NewTriplets(5, 5, 5)
+	tr, err := fbmpk.NewTriplets(5, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 7.5
 	for i, v := range []float64{1, 2, -3, want, 0.5} {
 		tr.Add(i, i, v)
@@ -267,7 +270,10 @@ func TestKrylovBasisOrthonormal(t *testing.T) {
 
 func TestKrylovBasisDeficient(t *testing.T) {
 	// Identity matrix: Krylov space is 1-dimensional.
-	tr := fbmpk.NewTriplets(4, 4, 4)
+	tr, err := fbmpk.NewTriplets(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 4; i++ {
 		tr.Add(i, i, 1)
 	}
