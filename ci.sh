@@ -17,6 +17,39 @@ go test -race -run Differential -count 1 .
 # Concurrent-serving contract: shared plan under >= 8 goroutines,
 # cancellation, graceful close, metrics accounting (bounded iterations).
 go test -race -run 'TestConcurrent|TestPlan(Cancellation|Close|Metrics)' -count 1 .
+# Trace capture under the same concurrent-serving stress (well-nested
+# spans per lane, bounded rings, debug HTTP surface).
+go test -race -run 'TestTrace|TestDebugHandler' -count 1 .
+
+# Observability smoke: a bench run must produce a machine-readable
+# report whose FB plans hold the paper's traffic bound (reads of A per
+# SpMV <= 0.75 at k=4; baseline ~1), and a briefly started debug
+# server must serve valid Prometheus text.
+go build -o /tmp/fbmpk_ci_bench ./cmd/fbmpkbench
+/tmp/fbmpk_ci_bench -exp fig7 -matrices cant,pwtk -scale 0.004 -runs 2 -k 4 \
+  -json /tmp/fbmpk_ci_run.json > /dev/null
+/tmp/fbmpk_ci_bench -check /tmp/fbmpk_ci_run.json
+
+go build -o /tmp/fbmpk_ci_solve ./cmd/solve
+rm -f /tmp/fbmpk_ci_solve.log
+/tmp/fbmpk_ci_solve -matrix cant -scale 0.003 -method cg -threads 2 \
+  -http 127.0.0.1:0 -linger 20s > /tmp/fbmpk_ci_solve.log &
+SOLVE_PID=$!
+scrape_ok=0
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  ADDR=$(sed -n 's#^debug server: http://\([^ ]*\) .*#\1#p' /tmp/fbmpk_ci_solve.log)
+  if [ -n "$ADDR" ] \
+    && curl -sf "http://$ADDR/metrics" > /tmp/fbmpk_ci_metrics.txt \
+    && grep -q 'fbmpk_reads_of_a_per_spmv{' /tmp/fbmpk_ci_metrics.txt \
+    && grep -q 'fbmpk_op_latency_seconds_bucket{' /tmp/fbmpk_ci_metrics.txt; then
+    scrape_ok=1
+    break
+  fi
+  sleep 1
+done
+kill "$SOLVE_PID" 2> /dev/null || true
+wait "$SOLVE_PID" 2> /dev/null || true
+[ "$scrape_ok" -eq 1 ]
 
 FUZZTIME=${FUZZTIME:-10s}
 go test -run '^$' -fuzz '^FuzzDifferentialMPK$'   -fuzztime "$FUZZTIME" .

@@ -8,6 +8,9 @@
 //	fbmpkbench -exp paper            # every paper table/figure
 //	fbmpkbench -exp all -csv         # everything, machine-readable
 //	fbmpkbench -exp serving -metrics # concurrent serving + plan metrics dump
+//	fbmpkbench -exp fig7 -json run.json  # machine-readable report with plan snapshots
+//	fbmpkbench -check run.json       # assert the FB traffic bound in a saved report
+//	fbmpkbench -http :6060           # serve /metrics, /debug/pprof while running
 //	fbmpkbench -list                 # show available experiments
 //
 // See DESIGN.md for the experiment index and EXPERIMENTS.md for
@@ -17,10 +20,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"fbmpk/internal/bench"
+	"fbmpk/internal/expo"
 )
 
 func main() {
@@ -35,6 +43,10 @@ func main() {
 		matrices = flag.String("matrices", "", "comma-separated matrix subset (default: all 14)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		metrics  = flag.Bool("metrics", false, "dump each plan's PlanMetrics snapshot (expvar JSON) after its experiment")
+		jsonOut  = flag.String("json", "", "write a machine-readable run report (experiment wall times + plan metrics snapshots) to this file ('-' = stdout)")
+		check    = flag.String("check", "", "validate a saved -json report instead of running: asserts the FB engine read A at most (k+1)/2k <= 0.75 times per SpMV")
+		httpAddr = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address while experiments run")
+		linger   = flag.Duration("linger", 0, "keep the -http debug server up this long after the experiments finish")
 		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -43,6 +55,15 @@ func main() {
 		for _, e := range bench.Registry() {
 			fmt.Printf("%-14s %s\n", e.Name, e.Description)
 		}
+		return
+	}
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "fbmpkbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("fbmpkbench: %s: report ok\n", *check)
 		return
 	}
 
@@ -59,10 +80,118 @@ func main() {
 	if *matrices != "" {
 		cfg.Matrices = splitList(*matrices)
 	}
+	// The report also backs the debug server's /metrics page, so build
+	// it whenever either consumer is enabled.
+	if *jsonOut != "" || *httpAddr != "" {
+		cfg.Report = bench.NewReport(cfg)
+	}
+	if *httpAddr != "" {
+		addr, err := serveDebug(*httpAddr, cfg.Report)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fbmpkbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "fbmpkbench: debug server on http://%s (metrics, debug/pprof)\n", addr)
+	}
 	if err := bench.Run(os.Stdout, cfg, splitList(*exps)); err != nil {
 		fmt.Fprintln(os.Stderr, "fbmpkbench:", err)
 		os.Exit(1)
 	}
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, cfg.Report); err != nil {
+			fmt.Fprintln(os.Stderr, "fbmpkbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *httpAddr != "" && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "fbmpkbench: lingering %v for scrapes\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+func writeReport(path string, r *bench.Report) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// checkReport is the CI gate over a saved -json report: every recorded
+// FB-engine plan must have read A at most (k+1)/(2k) times per SpMV —
+// at k >= 4 that is <= 0.625, comfortably under the 0.75 budget the
+// roadmap sets — while a standard-MPK baseline reads it exactly once.
+func checkReport(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := bench.ReadReport(f)
+	if err != nil {
+		return err
+	}
+	fb := 0
+	for _, p := range rep.Plans {
+		label := p.Label
+		m := p.Metrics
+		if m.SpMVs == 0 {
+			return fmt.Errorf("%s: plan %q recorded no SpMVs", path, label)
+		}
+		if strings.HasPrefix(label, "baseline:") {
+			if m.ReadsPerSpMV < 0.999 {
+				return fmt.Errorf("%s: baseline plan %q reads A %.3f times per SpMV, expected ~1",
+					path, label, m.ReadsPerSpMV)
+			}
+			continue
+		}
+		fb++
+		if m.ReadsPerSpMV <= 0 || m.ReadsPerSpMV > 0.75 {
+			return fmt.Errorf("%s: FB plan %q reads A %.3f times per SpMV, want in (0, 0.75]",
+				path, label, m.ReadsPerSpMV)
+		}
+	}
+	if fb == 0 {
+		return fmt.Errorf("%s: report contains no FB-engine plan snapshots (run with -json and an experiment that records plans, e.g. fig7)", path)
+	}
+	return nil
+}
+
+// serveDebug starts a debug HTTP server rendering the report's plan
+// snapshots as Prometheus text, alongside the stock pprof/expvar
+// endpoints. It returns the bound address (the listener may pick a
+// port when addr ends in ":0").
+func serveDebug(addr string, rep *bench.Report) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		recs := rep.PlanRecords()
+		snaps := make([]expo.PlanSnapshot, len(recs))
+		for i, r := range recs {
+			snaps[i] = expo.PlanSnapshot{Name: r.Label, Metrics: r.Metrics}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := expo.WriteMetrics(w, snaps...); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug surface
+	return ln.Addr().String(), nil
 }
 
 func splitList(s string) []string {

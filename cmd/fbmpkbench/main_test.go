@@ -1,0 +1,92 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fbmpk/internal/bench"
+	"fbmpk/internal/core"
+)
+
+func writeTestReport(t *testing.T, mutate func(*bench.Report)) string {
+	t.Helper()
+	cfg := bench.Config{Scale: 0.001, Seed: 7, Runs: 2, Threads: 2, K: 4,
+		Matrices: []string{"cant"}}
+	cfg.Report = bench.NewReport(cfg)
+	if err := bench.Run(io.Discard, cfg, []string{"fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	if mutate != nil {
+		mutate(cfg.Report)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Report.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckReportAcceptsHealthyRun(t *testing.T) {
+	if err := checkReport(writeTestReport(t, nil)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckReportRejectsBrokenRuns(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*bench.Report)
+		want   string
+	}{
+		{"fb over budget", func(r *bench.Report) {
+			for i := range r.Plans {
+				if strings.HasPrefix(r.Plans[i].Label, "fbmpk:") {
+					r.Plans[i].Metrics.ReadsPerSpMV = 0.9
+				}
+			}
+		}, "want in (0, 0.75]"},
+		{"baseline under one", func(r *bench.Report) {
+			for i := range r.Plans {
+				if strings.HasPrefix(r.Plans[i].Label, "baseline:") {
+					r.Plans[i].Metrics.ReadsPerSpMV = 0.5
+				}
+			}
+		}, "expected ~1"},
+		{"no fb plans", func(r *bench.Report) {
+			var kept []bench.PlanRecord
+			for _, p := range r.Plans {
+				if strings.HasPrefix(p.Label, "baseline:") {
+					kept = append(kept, p)
+				}
+			}
+			r.Plans = kept
+		}, "no FB-engine plan snapshots"},
+		{"idle plan", func(r *bench.Report) {
+			r.Plans[0].Metrics = core.PlanMetrics{}
+		}, "recorded no SpMVs"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := checkReport(writeTestReport(t, c.mutate))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCheckReportMissingFile(t *testing.T) {
+	if err := checkReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

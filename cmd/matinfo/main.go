@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"fbmpk"
 	"fbmpk/internal/bench"
@@ -80,11 +81,12 @@ func run(file, matrix string, scale float64, seed uint64, export string, details
 		}
 		fmt.Printf("  split        L nnz %d, U nnz %d, L+U+d bytes %d\n",
 			tri.L.NNZ(), tri.U.NNZ(), tri.MemoryBytes())
-		ord, _, err := reorder.ABMCReorder(a, reorder.ABMCOptions{})
+		ord, perm, err := reorder.ABMCReorder(a, reorder.ABMCOptions{})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("  ABMC         %d blocks, %d colors\n", ord.NumBlocks(), ord.NumColors)
+		printSchedule(ord, perm, st.Bandwidth)
 		ls, err := reorder.LevelsLower(tri.L)
 		if err != nil {
 			return err
@@ -99,4 +101,37 @@ func run(file, matrix string, scale float64, seed uint64, export string, details
 		fmt.Printf("exported to %s\n", export)
 	}
 	return nil
+}
+
+// printSchedule summarizes the parallel schedule the ABMC ordering
+// induces: how many blocks run per color barrier (the unit of
+// parallelism in the FBMPK sweeps), how balanced the block sizes are,
+// and what the reordering does to the bandwidth of the matrix.
+func printSchedule(ord *reorder.ABMCResult, perm *sparse.CSR, origBW int) {
+	nb := ord.NumBlocks()
+	if nb == 0 || ord.NumColors == 0 {
+		return
+	}
+	sizes := make([]int, nb)
+	for b := 0; b < nb; b++ {
+		sizes[b] = int(ord.BlockPtr[b+1] - ord.BlockPtr[b])
+	}
+	sort.Ints(sizes)
+	minBPC, maxBPC := nb, 0
+	for c := 0; c < ord.NumColors; c++ {
+		bpc := int(ord.ColorPtr[c+1] - ord.ColorPtr[c])
+		if bpc < minBPC {
+			minBPC = bpc
+		}
+		if bpc > maxBPC {
+			maxBPC = bpc
+		}
+	}
+	fmt.Printf("  blocks/color %.1f avg (min %d, max %d) over %d colors\n",
+		float64(nb)/float64(ord.NumColors), minBPC, maxBPC, ord.NumColors)
+	fmt.Printf("  block rows   min %d, median %d, max %d\n",
+		sizes[0], sizes[nb/2], sizes[nb-1])
+	permBW := perm.Bandwidth()
+	fmt.Printf("  permuted bw  %d (original %d, %.2fx)\n",
+		permBW, origBW, float64(permBW)/float64(max(origBW, 1)))
 }

@@ -8,14 +8,19 @@
 //	solve -matrix G3_circuit -method chebyshev -degree 8
 //	solve -matrix ldoor -method power
 //	solve -file m.mtx -method cg
+//	solve -matrix cant -trace solve.trace.json   # Chrome/Perfetto execution trace
+//	solve -matrix cant -http :6060 -linger 30s   # /metrics, /trace, /debug/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	"time"
 
 	"fbmpk"
 	"fbmpk/solver"
@@ -33,15 +38,18 @@ func main() {
 		degree  = flag.Int("degree", 8, "chebyshev polynomial degree / krylov s")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
 		metrics = flag.Bool("metrics", false, "print the plan's PlanMetrics snapshot (expvar JSON) after solving")
+		trace   = flag.String("trace", "", "record an execution trace of the solve and write Chrome trace-event JSON to this file")
+		addr    = flag.String("http", "", "serve the plan's debug surface (/metrics, /trace, /debug/pprof) on this address")
+		linger  = flag.Duration("linger", 0, "keep the -http debug server up this long after solving (0 with -http = until interrupted)")
 	)
 	flag.Parse()
-	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *metrics); err != nil {
+	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *metrics, *trace, *addr, *linger); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, metrics bool) error {
+func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, metrics bool, traceFile, httpAddr string, linger time.Duration) error {
 	var (
 		a   *fbmpk.Matrix
 		err error
@@ -67,6 +75,21 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 		// Dump the traffic/time counters accumulated across the whole
 		// solve: every matrix application below runs through this plan.
 		defer func() { fmt.Printf("metrics: %s\n", plan.Metrics()) }()
+	}
+	var rec *fbmpk.TraceRecorder
+	if traceFile != "" {
+		rec = fbmpk.NewTraceRecorder(fbmpk.TraceConfig{Workers: plan.Workers()})
+		if err := plan.StartTrace(rec); err != nil {
+			return err
+		}
+	}
+	if httpAddr != "" {
+		ln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("debug server: http://%s (metrics, trace, debug/pprof)\n", ln.Addr())
+		go http.Serve(ln, fbmpk.DebugHandler(plan)) //nolint:errcheck // best-effort debug surface
 	}
 
 	n := a.Rows
@@ -159,6 +182,32 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 			res.Lambdas[0], res.Lambdas[1], res.Lambdas[2], res.Residual)
 	default:
 		return fmt.Errorf("unknown method %q", method)
+	}
+
+	if rec != nil {
+		// The recorder stays attached so a lingering /trace endpoint can
+		// serve the same capture; WriteTrace snapshots safely.
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		if err := fbmpk.WriteTrace(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %d spans to %s\n", rec.Len(), traceFile)
+	}
+	if httpAddr != "" {
+		if linger > 0 {
+			fmt.Printf("lingering %v for scrapes\n", linger)
+			time.Sleep(linger)
+		} else {
+			fmt.Println("serving until interrupted (ctrl-c to exit)")
+			select {}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestSolveMethods(t *testing.T) {
 	cases := []struct {
@@ -21,7 +26,7 @@ func TestSolveMethods(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			if err := run("", c.matrix, 0.002, 1, c.method, c.tol, c.maxIter, c.degree, 2, true); err != nil {
+			if err := run("", c.matrix, 0.002, 1, c.method, c.tol, c.maxIter, c.degree, 2, true, "", "", 0); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -31,16 +36,36 @@ func TestSolveMethods(t *testing.T) {
 func TestSolvePowerReportsEvenUnconverged(t *testing.T) {
 	// The power method may not converge in a few iterations; run must
 	// still report the estimate without returning an error.
-	if err := run("", "ldoor", 0.001, 1, "power", 1e-12, 3, 4, 1, false); err != nil {
+	if err := run("", "ldoor", 0.001, 1, "power", 1e-12, 3, 4, 1, false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSolveErrors(t *testing.T) {
-	if err := run("", "", 0.01, 1, "cg", 1e-8, 10, 4, 1, false); err == nil {
+	if err := run("", "", 0.01, 1, "cg", 1e-8, 10, 4, 1, false, "", "", 0); err == nil {
 		t.Error("accepted missing source")
 	}
-	if err := run("", "cant", 0.002, 1, "bogus", 1e-8, 10, 4, 1, false); err == nil {
+	if err := run("", "cant", 0.002, 1, "bogus", 1e-8, 10, 4, 1, false, "", "", 0); err == nil {
 		t.Error("accepted unknown method")
+	}
+}
+
+func TestSolveWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "solve.trace.json")
+	if err := run("", "cant", 0.002, 1, "cg", 1e-6, 200, 8, 2, false, path, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file holds no events")
 	}
 }

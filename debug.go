@@ -1,0 +1,143 @@
+package fbmpk
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+
+	"fbmpk/internal/events"
+	"fbmpk/internal/expo"
+)
+
+// Observability surface: execution tracing, Prometheus exposition, and
+// expvar publication for live plans. See the README "Observability"
+// section for a walkthrough.
+
+// TraceRecorder captures execution spans (calls, pipeline sweeps,
+// per-worker compute sections, color-barrier waits) into bounded
+// per-lane ring buffers. Attach one to a plan with Plan.StartTrace;
+// export it with WriteTrace or scrape it from DebugHandler's /trace
+// endpoint. A nil *TraceRecorder is the disabled state: every method
+// is safe and free.
+type TraceRecorder = events.Recorder
+
+// TraceConfig sizes a TraceRecorder: ring capacity per lane, number of
+// concurrent traced callers, and worker lanes. The zero value selects
+// the defaults (8192 events/lane, 8 callers, no workers).
+type TraceConfig = events.Config
+
+// TraceEvent is one recorded span of a trace snapshot.
+type TraceEvent = events.Event
+
+// NewTraceRecorder builds a trace recorder. Size Workers to the plan's
+// thread count (Plan.Workers) so per-worker spans are captured; caller
+// lanes bound how many concurrent executions trace at once.
+func NewTraceRecorder(cfg TraceConfig) *TraceRecorder {
+	return events.NewRecorder(cfg)
+}
+
+// WriteTrace exports the recorders' retained spans as one Chrome
+// trace-event JSON document, loadable at ui.perfetto.dev or
+// chrome://tracing. Recorder i becomes process i+1; nil recorders are
+// skipped.
+func WriteTrace(w io.Writer, recs ...*TraceRecorder) error {
+	return events.WriteChromeTrace(w, recs...)
+}
+
+// DebugHandler returns an http.Handler exposing the plans' runtime
+// state:
+//
+//	/metrics      Prometheus/OpenMetrics text (counters, traffic
+//	              ratios, per-op latency histograms)
+//	/trace        Chrome trace-event JSON of the currently attached
+//	              trace recorders (empty document when none)
+//	/debug/vars   expvar JSON
+//	/debug/pprof  Go profiling endpoints
+//
+// Plans are labeled plan0..planN in /metrics, in argument order. The
+// handler holds the plan pointers only; snapshots are taken per
+// request, so it is safe to serve concurrently with executions and
+// after Close (the counters simply freeze).
+func DebugHandler(plan *Plan, more ...*Plan) http.Handler {
+	plans := append([]*Plan{plan}, more...)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snaps := make([]expo.PlanSnapshot, 0, len(plans))
+		for i, p := range plans {
+			if p == nil {
+				continue
+			}
+			snaps = append(snaps, expo.PlanSnapshot{
+				Name:    fmt.Sprintf("plan%d", i),
+				Metrics: p.Metrics(),
+			})
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := expo.WriteMetrics(w, snaps...); err != nil {
+			// Headers are already out; nothing to do but drop the conn.
+			return
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		recs := make([]*TraceRecorder, 0, len(plans))
+		for _, p := range plans {
+			if p == nil {
+				continue
+			}
+			recs = append(recs, p.TraceRecorder())
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="fbmpk-trace.json"`)
+		_ = events.WriteChromeTrace(w, recs...)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "fbmpk debug surface")
+		fmt.Fprintln(w, "  /metrics      Prometheus text exposition")
+		fmt.Fprintln(w, "  /trace        Chrome trace-event JSON (Perfetto)")
+		fmt.Fprintln(w, "  /debug/vars   expvar")
+		fmt.Fprintln(w, "  /debug/pprof  profiling")
+	})
+	return mux
+}
+
+// expvarMu serializes PublishExpvar's check-then-publish so concurrent
+// registrations of the same name cannot race into expvar.Publish's
+// duplicate panic.
+var expvarMu sync.Mutex
+
+// PublishExpvar registers the plan's metrics snapshot under name in
+// the process-wide expvar registry, so /debug/vars (and DebugHandler)
+// include it. Unlike expvar.Publish, a second registration of the same
+// name returns an error instead of panicking; expvar has no
+// unregister, so names live for the life of the process.
+func PublishExpvar(name string, plan *Plan) error {
+	if plan == nil {
+		return fmt.Errorf("fbmpk: PublishExpvar(%q): nil plan", name)
+	}
+	if name == "" {
+		return fmt.Errorf("fbmpk: PublishExpvar: empty name")
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return fmt.Errorf("fbmpk: PublishExpvar: name %q already registered", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		return plan.Metrics()
+	}))
+	return nil
+}

@@ -1,0 +1,39 @@
+package fbmpk_test
+
+import (
+	"fmt"
+
+	"fbmpk"
+)
+
+// ExamplePublishExpvar registers a plan's metrics in the process-wide
+// expvar registry (so /debug/vars and DebugHandler expose them) and
+// shows the collision-safe behavior: a second registration of the same
+// name reports an error instead of panicking like expvar.Publish.
+func ExamplePublishExpvar() {
+	a, err := fbmpk.GenerateSuiteMatrix("cant", 0.002, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	plan, err := fbmpk.NewPlan(a)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer plan.Close()
+
+	if err := fbmpk.PublishExpvar("fbmpk.example_plan", plan); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("registered")
+
+	// expvar names are process-global and cannot be unregistered, so a
+	// second registration is refused.
+	err = fbmpk.PublishExpvar("fbmpk.example_plan", plan)
+	fmt.Println(err)
+	// Output:
+	// registered
+	// fbmpk: PublishExpvar: name "fbmpk.example_plan" already registered
+}

@@ -211,6 +211,11 @@ type Config struct {
 	// Metrics makes plan-owning experiments dump each plan's
 	// PlanMetrics snapshot (the expvar JSON) after their table.
 	Metrics bool
+	// Report, when non-nil, collects per-experiment wall times and
+	// per-plan metrics snapshots for machine-readable output
+	// (fbmpkbench -json). The pointer survives the by-value Config
+	// passed to experiment drivers.
+	Report *Report
 }
 
 // Normalize fills defaults in place and returns the config.

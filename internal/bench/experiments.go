@@ -138,6 +138,8 @@ func Fig7(w io.Writer, cfg Config) error {
 		}
 		tb := timeMPK(cfg, base, x0, cfg.K)
 		tf := timeMPK(cfg, fb, x0, cfg.K)
+		cfg.RecordPlan("fig7", "baseline:"+s.Name, base)
+		cfg.RecordPlan("fig7", "fbmpk:"+s.Name, fb)
 		base.Close()
 		fb.Close()
 		sp := float64(tb.GeoMean) / float64(tf.GeoMean)

@@ -50,6 +50,7 @@ func MultiRHS(w io.Writer, cfg Config) error {
 				panic(err)
 			}
 		})
+		cfg.RecordPlan("abl-multirhs", "multirhs:"+s.Name, p)
 		p.Close()
 		sp := float64(ti.GeoMean) / float64(tb.GeoMean)
 		speedups = append(speedups, sp)

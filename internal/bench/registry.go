@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Experiment is a named driver regenerating one paper table/figure or
@@ -89,8 +90,12 @@ func Run(w io.Writer, cfg Config, names []string) error {
 		if !want[e.Name] {
 			continue
 		}
+		start := time.Now()
 		if err := e.Run(w, cfg); err != nil {
 			return fmt.Errorf("bench: %s: %w", e.Name, err)
+		}
+		if cfg.Report != nil {
+			cfg.Report.addExperiment(ExperimentRecord{Name: e.Name, Duration: time.Since(start)})
 		}
 	}
 	return nil

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fbmpk/internal/core"
+)
+
+// Report is the machine-readable record of one fbmpkbench invocation:
+// host description, workload config, per-experiment wall time, and
+// PlanMetrics snapshots of the plans the experiments drove. Appending
+// one report per run to a BENCH_*.json file turns the bench output
+// into a performance trajectory that later sessions can diff.
+type Report struct {
+	SchemaVersion int                `json:"schema_version"`
+	Timestamp     string             `json:"timestamp,omitempty"`
+	Host          HostInfo           `json:"host"`
+	Config        ReportConfig       `json:"config"`
+	Experiments   []ExperimentRecord `json:"experiments"`
+	Plans         []PlanRecord       `json:"plans,omitempty"`
+
+	mu sync.Mutex
+}
+
+// ReportConfig is the subset of Config worth persisting.
+type ReportConfig struct {
+	Scale    float64  `json:"scale"`
+	Seed     uint64   `json:"seed"`
+	Runs     int      `json:"runs"`
+	Threads  int      `json:"threads"`
+	K        int      `json:"k"`
+	RHS      int      `json:"rhs"`
+	Matrices []string `json:"matrices,omitempty"`
+}
+
+// ExperimentRecord is the wall time of one completed experiment.
+type ExperimentRecord struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// PlanRecord is one plan's metrics snapshot, attributed to the
+// experiment and the role the plan played in it (e.g. "fbmpk",
+// "baseline", "serving:cant").
+type PlanRecord struct {
+	Experiment string           `json:"experiment"`
+	Label      string           `json:"label"`
+	Metrics    core.PlanMetrics `json:"metrics"`
+}
+
+// NewReport starts a report for the given config.
+func NewReport(cfg Config) *Report {
+	cfg = cfg.Normalize()
+	return &Report{
+		SchemaVersion: 1,
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		Host:          Host(),
+		Config: ReportConfig{
+			Scale:    cfg.Scale,
+			Seed:     cfg.Seed,
+			Runs:     cfg.Runs,
+			Threads:  cfg.Threads,
+			K:        cfg.K,
+			RHS:      cfg.RHS,
+			Matrices: cfg.Matrices,
+		},
+	}
+}
+
+func (r *Report) addExperiment(rec ExperimentRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Experiments = append(r.Experiments, rec)
+}
+
+func (r *Report) addPlan(rec PlanRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.Plans = append(r.Plans, rec)
+}
+
+// PlanRecords returns a copy of the snapshots collected so far; safe
+// to call while experiments run.
+func (r *Report) PlanRecords() []PlanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PlanRecord, len(r.Plans))
+	copy(out, r.Plans)
+	return out
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.mu.Lock()
+	b, err := json.MarshalIndent(r, "", "  ")
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadReport parses a report written by WriteJSON.
+func ReadReport(rd io.Reader) (*Report, error) {
+	var r Report
+	dec := json.NewDecoder(rd)
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	return &r, nil
+}
+
+// RecordPlan snapshots a live plan's metrics into the run's report;
+// no-op when the config carries no report or the plan is nil. Call it
+// before Close while the counters are still reachable.
+func (c Config) RecordPlan(experiment, label string, p *core.Plan) {
+	if c.Report == nil || p == nil {
+		return
+	}
+	c.Report.addPlan(PlanRecord{Experiment: experiment, Label: label, Metrics: p.Metrics()})
+}

@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestReportCollectsFig7 runs the fig7 driver with a report attached
+// and checks the machine-readable output: per-experiment wall time,
+// one baseline + one FB snapshot per matrix, the FB traffic bound, and
+// a lossless JSON round trip.
+func TestReportCollectsFig7(t *testing.T) {
+	cfg := fastCfg()
+	cfg.K = 4
+	cfg.Report = NewReport(cfg)
+	if err := Run(io.Discard, cfg, []string{"fig7"}); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := cfg.Report
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Name != "fig7" {
+		t.Fatalf("experiments = %+v, want one fig7 record", rep.Experiments)
+	}
+	if rep.Experiments[0].Duration <= 0 {
+		t.Fatal("experiment duration not recorded")
+	}
+	plans := rep.PlanRecords()
+	if len(plans) != 2*len(cfg.Matrices) {
+		t.Fatalf("%d plan snapshots, want %d", len(plans), 2*len(cfg.Matrices))
+	}
+	for _, p := range plans {
+		if p.Experiment != "fig7" {
+			t.Fatalf("snapshot attributed to %q", p.Experiment)
+		}
+		m := p.Metrics
+		if m.SpMVs == 0 || m.Calls == 0 {
+			t.Fatalf("plan %q recorded no work: %+v", p.Label, m)
+		}
+		switch {
+		case strings.HasPrefix(p.Label, "baseline:"):
+			if m.ReadsPerSpMV < 0.999 || m.ReadsPerSpMV > 1.001 {
+				t.Fatalf("baseline %q reads/SpMV = %g, want ~1", p.Label, m.ReadsPerSpMV)
+			}
+		case strings.HasPrefix(p.Label, "fbmpk:"):
+			// k=4: (k+1)/2k = 0.625, the bound ci.sh enforces is 0.75.
+			if m.ReadsPerSpMV <= 0 || m.ReadsPerSpMV > 0.75 {
+				t.Fatalf("FB plan %q reads/SpMV = %g, want in (0, 0.75]", p.Label, m.ReadsPerSpMV)
+			}
+		default:
+			t.Fatalf("unexpected snapshot label %q", p.Label)
+		}
+		if len(m.Latency) == 0 {
+			t.Fatalf("plan %q snapshot has no latency histogram", p.Label)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != rep.SchemaVersion || len(back.Plans) != len(plans) {
+		t.Fatalf("round trip lost data: %d plans, schema %d", len(back.Plans), back.SchemaVersion)
+	}
+	if back.Config.K != 4 || back.Config.Runs != cfg.Runs {
+		t.Fatalf("round trip config = %+v", back.Config)
+	}
+	for i, p := range back.Plans {
+		if p.Metrics.ReadsPerSpMV != plans[i].Metrics.ReadsPerSpMV {
+			t.Fatalf("plan %q reads/SpMV changed across round trip", p.Label)
+		}
+	}
+}
+
+// TestReportNilSafe checks that experiments run unchanged without a
+// report attached and that RecordPlan tolerates nil receivers.
+func TestReportNilSafe(t *testing.T) {
+	cfg := fastCfg()
+	cfg.RecordPlan("x", "y", nil) // no report, nil plan: must not panic
+	if err := Run(io.Discard, cfg, []string{"fig7"}); err != nil {
+		t.Fatal(err)
+	}
+	var r *Report
+	r.addExperiment(ExperimentRecord{Name: "z"})
+	r.addPlan(PlanRecord{})
+	if r.PlanRecords() != nil {
+		t.Fatal("nil report returned records")
+	}
+}

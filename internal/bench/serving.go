@@ -77,6 +77,7 @@ func Serving(w io.Writer, cfg Config) error {
 		concurrent := time.Since(start)
 
 		m := p.Metrics()
+		cfg.RecordPlan("serving", "serving:"+s.Name, p)
 		p.Close()
 		if cfg.Metrics {
 			dumps = append(dumps, struct{ name, json string }{s.Name, m.String()})

@@ -106,27 +106,33 @@ func fbmpkSerial(st *fbState, env *runEnv, tri *sparse.Triangular, x0 []float64,
 		}
 	}
 
+	clock := env.serialClock()
 	if btb {
 		xy := st.xy
 		for i := 0; i < n; i++ {
 			xy[2*i] = x0[i]
 		}
 		sparse.SpMV(tri.U, x0, st.tmp) // head
+		clock.endCompute(phaseHead, -1)
 		t := 0
 		for t < k {
 			if env.canceled() {
 				return nil, nil, errCanceledRun
 			}
 			last := t+1 == k
+			clock.beginSweep(phaseForward)
 			fbForwardBtB(tri, xy, st.tmp, last)
 			t++
+			clock.endSweepCompute(phaseForward, int32(t))
 			emit(t, func(i int) float64 { return xy[2*i+1] })
 			if t == k {
 				break
 			}
 			last = t+1 == k
+			clock.beginSweep(phaseBackward)
 			fbBackwardBtB(tri, xy, st.tmp, last)
 			t++
+			clock.endSweepCompute(phaseBackward, int32(t))
 			emit(t, func(i int) float64 { return xy[2*i] })
 		}
 		xk = make([]float64, n)
@@ -144,21 +150,26 @@ func fbmpkSerial(st *fbState, env *runEnv, tri *sparse.Triangular, x0 []float64,
 
 	copy(st.a[:n], x0)
 	sparse.SpMV(tri.U, x0, st.tmp) // head
+	clock.endCompute(phaseHead, -1)
 	t := 0
 	for t < k {
 		if env.canceled() {
 			return nil, nil, errCanceledRun
 		}
 		last := t+1 == k
+		clock.beginSweep(phaseForward)
 		fbForwardSep(tri, st.a, st.b, st.tmp, last)
 		t++
+		clock.endSweepCompute(phaseForward, int32(t))
 		emit(t, func(i int) float64 { return st.b[i] })
 		if t == k {
 			break
 		}
 		last = t+1 == k
+		clock.beginSweep(phaseBackward)
 		fbBackwardSep(tri, st.a, st.b, st.tmp, last)
 		t++
+		clock.endSweepCompute(phaseBackward, int32(t))
 		emit(t, func(i int) float64 { return st.a[i] })
 	}
 	xk = make([]float64, n)

@@ -114,6 +114,7 @@ func fbmpkSerialMulti(st *fbMultiState, env *runEnv, tri *sparse.Triangular, xs 
 		}
 	}
 
+	clock := env.serialClock()
 	sparse.SpMMRange(tri.U, st.x0b, st.tmp, m, 0, n) // head
 	if btb {
 		for i := 0; i < n; i++ {
@@ -122,6 +123,7 @@ func fbmpkSerialMulti(st *fbMultiState, env *runEnv, tri *sparse.Triangular, xs 
 	} else {
 		copy(st.a, st.x0b)
 	}
+	clock.endCompute(phaseHead, -1)
 
 	t := 0
 	for t < k {
@@ -129,12 +131,14 @@ func fbmpkSerialMulti(st *fbMultiState, env *runEnv, tri *sparse.Triangular, xs 
 			return nil, nil, errCanceledRun
 		}
 		last := t+1 == k
+		clock.beginSweep(phaseForward)
 		if btb {
 			fbForwardBtBMultiRange(tri, st.xy, st.tmp, m, 0, n, last)
 		} else {
 			fbForwardSepMultiRange(tri, st.a, st.b, st.tmp, m, 0, n, last)
 		}
 		t++
+		clock.endSweepCompute(phaseForward, int32(t))
 		if cmb != nil && coeffs[t] != 0 {
 			if btb {
 				accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 1, 0, n)
@@ -146,12 +150,14 @@ func fbmpkSerialMulti(st *fbMultiState, env *runEnv, tri *sparse.Triangular, xs 
 			break
 		}
 		last = t+1 == k
+		clock.beginSweep(phaseBackward)
 		if btb {
 			fbBackwardBtBMultiRange(tri, st.xy, st.tmp, m, 0, n, last)
 		} else {
 			fbBackwardSepMultiRange(tri, st.a, st.b, st.tmp, m, 0, n, last)
 		}
 		t++
+		clock.endSweepCompute(phaseBackward, int32(t))
 		if cmb != nil && coeffs[t] != 0 {
 			if btb {
 				accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 0, 0, n)

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear latency histogram, HDR-style: each power-of-two octave of
+// the nanosecond range splits into 2^histSubBits linear sub-buckets,
+// giving a bounded relative error of 1/2^histSubBits (12.5%) across
+// the full int64 range with a fixed, modest bucket count. Recording is
+// one atomic increment on a precomputed index — no locking, no
+// allocation — so the histogram sits directly on the execution hot
+// path next to the call counters.
+
+const (
+	histSubBits    = 3
+	histSubBuckets = 1 << histSubBits
+	// Values 0..histSubBuckets-1 map to exact unit buckets; above that
+	// the index is (exp-histSubBits)*histSubBuckets + mantissa where
+	// exp peaks at 62 for int64 durations.
+	numHistBuckets = (62-histSubBits)*histSubBuckets + 2*histSubBuckets
+)
+
+// histBucket maps a non-negative nanosecond duration to its bucket.
+func histBucket(ns int64) int {
+	v := uint64(ns)
+	if v < histSubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1
+	shift := uint(exp - histSubBits)
+	return (exp-histSubBits)<<histSubBits + int(v>>shift) // v>>shift in [sub, 2*sub)
+}
+
+// histUpper returns the inclusive upper bound (ns) of bucket i: the
+// largest value histBucket maps to i.
+func histUpper(i int) int64 {
+	if i < histSubBuckets {
+		return int64(i)
+	}
+	q := i >> histSubBits // exp - histSubBits + 1
+	r := int64(i & (histSubBuckets - 1))
+	return (histSubBuckets+r+1)<<uint(q-1) - 1
+}
+
+// latencyHist is one op's live histogram: per-bucket counts plus a
+// running sum for mean derivation. All fields are independently atomic;
+// a snapshot taken concurrently with observes may be off by in-flight
+// increments, which a scrape surface tolerates.
+type latencyHist struct {
+	sum     atomic.Int64 // total ns observed
+	buckets [numHistBuckets]atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histBucket(ns)].Add(1)
+	h.sum.Add(ns)
+}
+
+// LatencyBucket is one cumulative histogram bucket of an OpLatency
+// snapshot: Count observations took at most Le.
+type LatencyBucket struct {
+	Le    time.Duration `json:"le_ns"`
+	Count uint64        `json:"cumulative_count"`
+}
+
+// OpLatency is the per-operation latency distribution in a PlanMetrics
+// snapshot: total count and summed duration, derived percentile upper
+// bounds (the bucket boundary the quantile falls under, so worst-case
+// 12.5% above the true quantile), and the non-empty cumulative buckets.
+type OpLatency struct {
+	Count   uint64          `json:"count"`
+	Sum     time.Duration   `json:"sum_ns"`
+	P50     time.Duration   `json:"p50_ns"`
+	P90     time.Duration   `json:"p90_ns"`
+	P99     time.Duration   `json:"p99_ns"`
+	Buckets []LatencyBucket `json:"buckets,omitempty"`
+}
+
+// snapshot materializes the histogram. Count is derived from the
+// bucket sums so the cumulative buckets are internally consistent.
+func (h *latencyHist) snapshot() OpLatency {
+	s := OpLatency{Sum: time.Duration(h.sum.Load())}
+	var cum uint64
+	for i := 0; i < numHistBuckets; i++ {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		s.Buckets = append(s.Buckets, LatencyBucket{
+			Le:    time.Duration(histUpper(i)),
+			Count: cum,
+		})
+	}
+	s.Count = cum
+	s.P50 = s.quantile(0.50)
+	s.P90 = s.quantile(0.90)
+	s.P99 = s.quantile(0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// quantile observation, 0 when the histogram is empty.
+func (s OpLatency) quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count))) // nearest-rank
+	if target < 1 {
+		target = 1
+	} else if target > s.Count {
+		target = s.Count
+	}
+	for _, b := range s.Buckets {
+		if b.Count >= target {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistBucketBounds(t *testing.T) {
+	// Every value must land in a bucket whose upper bound is the
+	// largest value mapping to that bucket: histUpper(histBucket(v)) >= v
+	// and histBucket(histUpper(i)) == i.
+	vals := []int64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1023, 1024, 1 << 20, 1<<62 + 12345}
+	for _, v := range vals {
+		i := histBucket(v)
+		if up := histUpper(i); up < v {
+			t.Fatalf("histUpper(histBucket(%d)) = %d < value", v, up)
+		}
+		if i > 0 {
+			if lo := histUpper(i - 1); lo >= v {
+				t.Fatalf("value %d fits the previous bucket (upper %d)", v, lo)
+			}
+		}
+	}
+	for i := 0; i < numHistBuckets; i++ {
+		if got := histBucket(histUpper(i)); got != i {
+			t.Fatalf("histBucket(histUpper(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistBucketRelativeError(t *testing.T) {
+	// Log-linear contract: above the unit range, bucket width is at
+	// most 1/2^histSubBits of the value (12.5% relative error).
+	for _, v := range []int64{64, 1000, 123456, 1 << 30} {
+		i := histBucket(v)
+		width := histUpper(i) - histUpper(i-1)
+		if float64(width) > float64(v)/float64(histSubBuckets)+1 {
+			t.Fatalf("bucket width %d too wide for value %d", width, v)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h latencyHist
+	// 100 observations: 1us..100us. p50 ~ 50us, p99 ~ 99us, within
+	// the 12.5% bucket error.
+	for i := 1; i <= 100; i++ {
+		h.observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.snapshot()
+	if s.Count != 100 {
+		t.Fatalf("Count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050*time.Microsecond {
+		t.Fatalf("Sum = %v, want 5.05ms", s.Sum)
+	}
+	check := func(name string, got time.Duration, want float64) {
+		lo, hi := want, want*1.125+1
+		if g := float64(got.Nanoseconds()); g < lo || g > hi {
+			t.Fatalf("%s = %v, want in [%v, %v] ns", name, got, lo, hi)
+		}
+	}
+	check("p50", s.P50, 50e3)
+	check("p90", s.P90, 90e3)
+	check("p99", s.P99, 99e3)
+	// Cumulative buckets: monotone, final count equals Count.
+	prev := uint64(0)
+	for _, b := range s.Buckets {
+		if b.Count <= prev {
+			t.Fatalf("bucket counts not strictly cumulative: %v", s.Buckets)
+		}
+		prev = b.Count
+	}
+	if prev != s.Count {
+		t.Fatalf("last cumulative count %d != Count %d", prev, s.Count)
+	}
+}
+
+func TestHistEmptyQuantile(t *testing.T) {
+	var h latencyHist
+	s := h.snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty histogram snapshot not zero: %+v", s)
+	}
+}

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	rtrace "runtime/trace"
 	"sync/atomic"
 	"time"
+
+	"fbmpk/internal/events"
 )
 
 // Observability layer of the concurrent Plan engine. Every Plan owns a
@@ -67,6 +71,28 @@ var phaseNames = [numPhases]string{
 	phaseSymGS:    "symgs",
 }
 
+// regionNames are the static labels mirrored into runtime/trace
+// regions when a Go execution trace is active (static so StartRegion
+// never allocates a label).
+var regionNames = [numPhases]string{
+	phaseHead:     "fbmpk.head",
+	phaseForward:  "fbmpk.forward",
+	phaseBackward: "fbmpk.backward",
+	phaseStandard: "fbmpk.standard",
+	phaseSymGS:    "fbmpk.symgs",
+}
+
+var opRegionNames = [numOps]string{
+	opMPK:          "fbmpk.mpk",
+	opMPKAll:       "fbmpk.mpk_all",
+	opMPKBatch:     "fbmpk.mpk_batch",
+	opMPKMulti:     "fbmpk.mpk_multi",
+	opSSpMV:        "fbmpk.sspmv",
+	opSSpMVMulti:   "fbmpk.sspmv_multi",
+	opSSpMVComplex: "fbmpk.sspmv_complex",
+	opSymGS:        "fbmpk.symgs",
+}
+
 // planMetrics is the live atomic counter set owned by a Plan.
 type planMetrics struct {
 	calls    [numOps]atomic.Uint64
@@ -81,6 +107,8 @@ type planMetrics struct {
 	callNanos atomic.Int64 // wall time inside engine executions
 	phaseWait [numPhases]atomic.Int64
 	phaseComp [numPhases]atomic.Int64
+
+	hist [numOps]latencyHist // per-op call duration distribution
 }
 
 // work is the analytic cost of one successful execution, accumulated
@@ -129,6 +157,10 @@ type PlanMetrics struct {
 	ComputeTime  time.Duration            `json:"compute_time_ns"`
 	PhaseWait    map[string]time.Duration `json:"phase_wait_ns,omitempty"`
 	PhaseCompute map[string]time.Duration `json:"phase_compute_ns,omitempty"`
+
+	// Latency holds the per-op call duration histogram (log-linear,
+	// 12.5% relative bucket error) with derived p50/p90/p99.
+	Latency map[string]OpLatency `json:"latency_by_op,omitempty"`
 }
 
 // String renders the snapshot as JSON, satisfying expvar.Var.
@@ -157,6 +189,10 @@ func (m *planMetrics) snapshot(matrixNnz uint64) PlanMetrics {
 		if c := m.calls[op].Load(); c > 0 {
 			s.CallsByOp[op.String()] = c
 			s.Calls += c
+			if s.Latency == nil {
+				s.Latency = make(map[string]OpLatency, numOps)
+			}
+			s.Latency[op.String()] = m.hist[op].snapshot()
 		}
 	}
 	if matrixNnz > 0 {
@@ -192,59 +228,155 @@ func (f *cancelFlag) set() { f.v.Store(true) }
 // canceled is nil-safe so uncancellable runs pay one nil check.
 func (f *cancelFlag) canceled() bool { return f != nil && f.v.Load() }
 
-// runEnv bundles the per-execution cancellation flag and the metrics
-// sink threaded through the engine kernels. A nil *runEnv (the legacy
-// exported entry points) disables both.
+// runEnv bundles the per-execution cancellation flag, the metrics
+// sink, and the optional trace recorder threaded through the engine
+// kernels. A nil *runEnv (the legacy exported entry points) disables
+// all three. lane is the caller lane claimed for this execution (-1
+// when untraced) and seq groups all of the execution's spans.
 type runEnv struct {
 	flag *cancelFlag
 	met  *planMetrics
+	rec  *events.Recorder
+	lane int32
+	seq  uint64
 }
 
 func (e *runEnv) canceled() bool {
 	return e != nil && e.flag.canceled()
 }
 
-// clock returns a per-worker phase clock, nil when metrics are off —
-// all phaseClock methods are nil-safe no-ops.
-func (e *runEnv) clock() *phaseClock {
+// workerClock returns the phase clock for pool worker id, nil when
+// metrics are off — all phaseClock methods are nil-safe no-ops. When a
+// trace recorder is attached the clock also emits span events on the
+// worker's dedicated lane.
+func (e *runEnv) workerClock(id int) *phaseClock {
 	if e == nil || e.met == nil {
 		return nil
 	}
-	return &phaseClock{met: e.met, t: time.Now()}
+	c := &phaseClock{met: e.met, t: time.Now()}
+	if e.rec != nil {
+		if l := e.rec.WorkerLane(id); l >= 0 {
+			c.rec, c.lane, c.seq = e.rec, l, e.seq
+		}
+	}
+	return c
+}
+
+// serialClock returns a tracing-only clock for a serial kernel running
+// on the calling goroutine, or nil when no recorder is attached — so
+// the untraced serial hot path allocates nothing and never reads the
+// clock. Sweep spans land on the execution's caller lane.
+func (e *runEnv) serialClock() *phaseClock {
+	if e == nil || e.rec == nil || e.lane < 0 {
+		return nil
+	}
+	return &phaseClock{rec: e.rec, lane: e.lane, seq: e.seq, t: time.Now()}
 }
 
 // phaseClock accumulates one worker's wait vs. compute time per phase
 // locally (no sharing, no atomics on the hot path) and flushes into
 // the plan counters once when the worker finishes. Usage: endCompute
 // after a kernel section, endWait after a barrier crossing; the clock
-// treats the span since the previous mark as that category.
+// treats the span since the previous mark as that category. With a
+// recorder attached each mark additionally emits a span event
+// (compute section or barrier wait) on the clock's lane, and
+// beginSweep/endSweep bracket whole pipeline sweeps — mirrored into
+// runtime/trace regions when a Go execution trace is running.
 type phaseClock struct {
-	met  *planMetrics
-	t    time.Time
-	wait [numPhases]int64
-	comp [numPhases]int64
+	met        *planMetrics
+	rec        *events.Recorder
+	lane       int32
+	seq        uint64
+	t          time.Time
+	sweepStart time.Time
+	region     *rtrace.Region
+	wait       [numPhases]int64
+	comp       [numPhases]int64
 }
 
-func (c *phaseClock) endCompute(ph phase) {
+func (c *phaseClock) endCompute(ph phase, color int32) {
 	if c == nil {
 		return
 	}
 	now := time.Now()
-	c.comp[ph] += now.Sub(c.t).Nanoseconds()
+	if c.met != nil {
+		c.comp[ph] += now.Sub(c.t).Nanoseconds()
+	}
+	if c.rec != nil {
+		c.rec.Span(c.lane, events.KindCompute, phaseNames[ph], color, c.seq, c.t, now)
+	}
 	c.t = now
 }
 
-func (c *phaseClock) endWait(ph phase) {
+func (c *phaseClock) endWait(ph phase, color int32) {
 	if c == nil {
 		return
 	}
 	now := time.Now()
-	c.wait[ph] += now.Sub(c.t).Nanoseconds()
+	if c.met != nil {
+		c.wait[ph] += now.Sub(c.t).Nanoseconds()
+	}
+	if c.rec != nil {
+		c.rec.Span(c.lane, events.KindBarrier, phaseNames[ph], color, c.seq, c.t, now)
+	}
 	c.t = now
+}
+
+// beginSweep marks the start of one pipeline sweep (the span until the
+// matching endSweep). It opens a runtime/trace region when a Go
+// execution trace is active; otherwise it only copies the current
+// mark, so the disabled cost is nil-check + one atomic load.
+func (c *phaseClock) beginSweep(ph phase) {
+	if c == nil {
+		return
+	}
+	c.sweepStart = c.t
+	if rtrace.IsEnabled() {
+		c.region = rtrace.StartRegion(context.Background(), regionNames[ph])
+	}
+}
+
+// endSweep emits the sweep span using the time of the last mark as the
+// sweep end (the parallel engines mark a barrier crossing right before
+// calling it, so no extra time.Now is needed). arg is the power (or
+// sweep index) the sweep produced.
+func (c *phaseClock) endSweep(ph phase, arg int32) {
+	if c == nil {
+		return
+	}
+	if c.rec != nil {
+		c.rec.Span(c.lane, events.KindSweep, phaseNames[ph], arg, c.seq, c.sweepStart, c.t)
+	}
+	if c.region != nil {
+		c.region.End()
+		c.region = nil
+	}
+}
+
+// endSweepCompute is the serial-kernel combination of endCompute and
+// endSweep: one time.Now closes both the compute span since the last
+// mark and the sweep opened by beginSweep.
+func (c *phaseClock) endSweepCompute(ph phase, arg int32) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	if c.met != nil {
+		c.comp[ph] += now.Sub(c.t).Nanoseconds()
+	}
+	if c.rec != nil {
+		c.rec.Span(c.lane, events.KindCompute, phaseNames[ph], -1, c.seq, c.t, now)
+		c.rec.Span(c.lane, events.KindSweep, phaseNames[ph], arg, c.seq, c.sweepStart, now)
+	}
+	c.t = now
+	if c.region != nil {
+		c.region.End()
+		c.region = nil
+	}
 }
 
 func (c *phaseClock) flush() {
-	if c == nil {
+	if c == nil || c.met == nil {
 		return
 	}
 	for ph := phase(0); ph < numPhases; ph++ {

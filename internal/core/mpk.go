@@ -39,12 +39,15 @@ func standardMPK(env *runEnv, a *sparse.CSR, x0 []float64, k int, onIterate Iter
 	}
 	x := sparse.CopyVec(x0)
 	y := make([]float64, a.Rows)
+	clock := env.serialClock()
 	for power := 1; power <= k; power++ {
 		if env.canceled() {
 			return nil, errCanceledRun
 		}
+		clock.beginSweep(phaseStandard)
 		sparse.SpMV(a, x, y)
 		x, y = y, x
+		clock.endSweepCompute(phaseStandard, int32(power))
 		if onIterate != nil {
 			onIterate(power, x)
 		}
@@ -79,20 +82,21 @@ func standardMPKParallel(env *runEnv, a *sparse.CSR, x0 []float64, k int, pool *
 	y := make([]float64, a.Rows)
 	bar := parallel.NewBarrier(pool.Workers())
 	pool.Run(func(id int) {
-		clock := env.clock()
+		clock := env.workerClock(id)
 		skip := false
 		lo, hi := bounds[id], bounds[id+1]
 		src, dst := x, y
 		for power := 1; power <= k; power++ {
+			clock.beginSweep(phaseStandard)
 			if !skip {
 				sparse.SpMVRange(a, src, dst, lo, hi)
 			}
 			src, dst = dst, src
 			// All writers must finish before anyone reads dst as the
 			// next source, and before the iterate callback fires.
-			clock.endCompute(phaseStandard)
+			clock.endCompute(phaseStandard, -1)
 			bar.Wait()
-			clock.endWait(phaseStandard)
+			clock.endWait(phaseStandard, -1)
 			if !skip && env.canceled() {
 				skip = true
 			}
@@ -100,10 +104,11 @@ func standardMPKParallel(env *runEnv, a *sparse.CSR, x0 []float64, k int, pool *
 				if id == 0 && !skip {
 					onIterate(power, src)
 				}
-				clock.endCompute(phaseStandard)
+				clock.endCompute(phaseStandard, -1)
 				bar.Wait()
-				clock.endWait(phaseStandard)
+				clock.endWait(phaseStandard, -1)
 			}
+			clock.endSweep(phaseStandard, int32(power))
 		}
 		clock.flush()
 	})
@@ -146,12 +151,15 @@ func standardMPKBatch(env *runEnv, a *sparse.CSR, xs [][]float64, k int) ([][]fl
 	nv := len(xs)
 	x := sparse.PackVectors(xs)
 	y := make([]float64, len(x))
+	clock := env.serialClock()
 	for power := 0; power < k; power++ {
 		if env.canceled() {
 			return nil, errCanceledRun
 		}
+		clock.beginSweep(phaseStandard)
 		sparse.SpMM(a, x, y, nv)
 		x, y = y, x
+		clock.endSweepCompute(phaseStandard, int32(power+1))
 	}
 	return sparse.UnpackVectors(x, a.Rows, nv), nil
 }

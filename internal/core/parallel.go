@@ -136,7 +136,7 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 	nc := f.ord.NumColors
 
 	f.pool.Run(func(id int) {
-		clock := env.clock()
+		clock := env.workerClock(id)
 		skip := false // cancellation observed: cross barriers, do no work
 		dLo, dHi := f.denseBounds[id], f.denseBounds[id+1]
 		// Init vectors and head: tmp = U * x0.
@@ -153,18 +153,19 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 				combo[i] = c0 * x0[i]
 			}
 		}
-		clock.endCompute(phaseHead)
+		clock.endCompute(phaseHead, -1)
 		f.bar.Wait()
-		clock.endWait(phaseHead)
+		clock.endWait(phaseHead, -1)
 		sparse.SpMVRange(f.tri.U, x0, st.tmp, f.headBounds[id], f.headBounds[id+1])
-		clock.endCompute(phaseHead)
+		clock.endCompute(phaseHead, -1)
 		f.bar.Wait()
-		clock.endWait(phaseHead)
+		clock.endWait(phaseHead, -1)
 		skip = env.canceled()
 
 		t := 0
 		for t < k {
 			last := t+1 == k
+			clock.beginSweep(phaseForward)
 			for c := 0; c < nc; c++ {
 				if !skip {
 					lo, hi := f.rowRange(c, id)
@@ -174,14 +175,15 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 						fbForwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
 					}
 				}
-				clock.endCompute(phaseForward)
+				clock.endCompute(phaseForward, int32(c))
 				f.bar.Wait()
-				clock.endWait(phaseForward)
+				clock.endWait(phaseForward, int32(c))
 				if !skip && env.canceled() {
 					skip = true
 				}
 			}
 			t++
+			clock.endSweep(phaseForward, int32(t))
 			if !skip {
 				if combo != nil && coeffs[t] != 0 {
 					cc := coeffs[t]
@@ -201,6 +203,7 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 				break
 			}
 			last = t+1 == k
+			clock.beginSweep(phaseBackward)
 			for c := nc - 1; c >= 0; c-- {
 				if !skip {
 					lo, hi := f.rowRange(c, id)
@@ -210,14 +213,15 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 						fbBackwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
 					}
 				}
-				clock.endCompute(phaseBackward)
+				clock.endCompute(phaseBackward, int32(c))
 				f.bar.Wait()
-				clock.endWait(phaseBackward)
+				clock.endWait(phaseBackward, int32(c))
 				if !skip && env.canceled() {
 					skip = true
 				}
 			}
 			t++
+			clock.endSweep(phaseBackward, int32(t))
 			if !skip {
 				if combo != nil && coeffs[t] != 0 {
 					cc := coeffs[t]

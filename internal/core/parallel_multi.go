@@ -74,7 +74,7 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 	nc := fb.ord.NumColors
 
 	fb.pool.Run(func(id int) {
-		clock := env.clock()
+		clock := env.workerClock(id)
 		skip := false
 		dLo, dHi := fb.denseBounds[id], fb.denseBounds[id+1]
 		// Pack the start block and init the working layout + combo.
@@ -92,19 +92,20 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 				cmb[i] = c0 * st.x0b[i]
 			}
 		}
-		clock.endCompute(phaseHead)
+		clock.endCompute(phaseHead, -1)
 		fb.bar.Wait()
-		clock.endWait(phaseHead)
+		clock.endWait(phaseHead, -1)
 		// Head: tmp = U * X0 over the nnz-balanced row partition.
 		sparse.SpMMRange(fb.tri.U, st.x0b, st.tmp, m, fb.headBounds[id], fb.headBounds[id+1])
-		clock.endCompute(phaseHead)
+		clock.endCompute(phaseHead, -1)
 		fb.bar.Wait()
-		clock.endWait(phaseHead)
+		clock.endWait(phaseHead, -1)
 		skip = env.canceled()
 
 		t := 0
 		for t < k {
 			last := t+1 == k
+			clock.beginSweep(phaseForward)
 			for c := 0; c < nc; c++ {
 				if !skip {
 					lo, hi := fb.rowRange(c, id)
@@ -114,14 +115,15 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 						fbForwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
 					}
 				}
-				clock.endCompute(phaseForward)
+				clock.endCompute(phaseForward, int32(c))
 				fb.bar.Wait()
-				clock.endWait(phaseForward)
+				clock.endWait(phaseForward, int32(c))
 				if !skip && env.canceled() {
 					skip = true
 				}
 			}
 			t++
+			clock.endSweep(phaseForward, int32(t))
 			if !skip && cmb != nil && coeffs[t] != 0 {
 				if btb {
 					accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 1, dLo, dHi)
@@ -133,6 +135,7 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 				break
 			}
 			last = t+1 == k
+			clock.beginSweep(phaseBackward)
 			for c := nc - 1; c >= 0; c-- {
 				if !skip {
 					lo, hi := fb.rowRange(c, id)
@@ -142,14 +145,15 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 						fbBackwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
 					}
 				}
-				clock.endCompute(phaseBackward)
+				clock.endCompute(phaseBackward, int32(c))
 				fb.bar.Wait()
-				clock.endWait(phaseBackward)
+				clock.endWait(phaseBackward, int32(c))
 				if !skip && env.canceled() {
 					skip = true
 				}
 			}
 			t++
+			clock.endSweep(phaseBackward, int32(t))
 			if !skip && cmb != nil && coeffs[t] != 0 {
 				if btb {
 					accumulateMultiBtB(cmb, st.xy, coeffs[t], m, 0, dLo, dHi)

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	rtrace "runtime/trace"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fbmpk/internal/check"
+	"fbmpk/internal/events"
 	"fbmpk/internal/graph"
 	"fbmpk/internal/parallel"
 	"fbmpk/internal/reorder"
@@ -115,6 +118,7 @@ type Plan struct {
 	gate    *parallel.Gate
 	wsPool  sync.Pool
 	metrics planMetrics
+	rec     atomic.Pointer[events.Recorder] // nil = tracing disabled
 
 	stats PlanStats
 }
@@ -278,6 +282,39 @@ func (p *Plan) Stats() PlanStats { return p.stats }
 // concurrently with executions.
 func (p *Plan) Metrics() PlanMetrics { return p.metrics.snapshot(p.nnzA) }
 
+// StartTrace attaches an event recorder: subsequent executions record
+// call, sweep, compute, and barrier spans into it until StopTrace.
+// Executions already running keep their previous recorder (possibly
+// none). Safe to call at any time; the swap is atomic. The recorder
+// should be sized with at least as many worker lanes as the plan has
+// threads, or worker spans are silently dropped.
+func (p *Plan) StartTrace(r *events.Recorder) error {
+	if r == nil {
+		return fmt.Errorf("core: StartTrace: nil recorder (use StopTrace to detach)")
+	}
+	p.rec.Store(r)
+	return nil
+}
+
+// StopTrace detaches the current recorder and returns it (nil when
+// none was attached). Executions already in flight finish recording
+// into the detached recorder; capture it after they drain for an exact
+// trace.
+func (p *Plan) StopTrace() *events.Recorder { return p.rec.Swap(nil) }
+
+// TraceRecorder returns the currently attached recorder, nil when
+// tracing is off.
+func (p *Plan) TraceRecorder() *events.Recorder { return p.rec.Load() }
+
+// Workers returns the plan's worker-pool size (0 for serial plans) —
+// the number of worker lanes a trace recorder for this plan needs.
+func (p *Plan) Workers() int {
+	if p.pool == nil {
+		return 0
+	}
+	return p.opt.Threads
+}
+
 // Ordering returns the ABMC result when reordering was applied, else
 // nil. The matrix held by the plan is in this ordering.
 func (p *Plan) Ordering() *reorder.ABMCResult { return p.ord }
@@ -305,7 +342,12 @@ func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *
 	p.metrics.inflight.Add(1)
 	defer p.metrics.inflight.Add(-1)
 
-	env := &runEnv{met: &p.metrics}
+	env := &runEnv{met: &p.metrics, lane: -1}
+	if rec := p.rec.Load(); rec != nil {
+		env.rec = rec
+		env.lane, env.seq = rec.AcquireLane()
+		defer rec.ReleaseLane(env.lane)
+	}
 	if ctx != nil && ctx.Done() != nil {
 		// A context already done fails deterministically before any
 		// kernel work; one set mid-run is observed at barriers instead.
@@ -319,9 +361,25 @@ func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *
 		env.flag = flag
 	}
 	ws := p.acquire()
+	var region *rtrace.Region
+	if rtrace.IsEnabled() {
+		rctx := ctx
+		if rctx == nil {
+			rctx = context.Background()
+		}
+		region = rtrace.StartRegion(rctx, opRegionNames[op])
+	}
 	start := time.Now()
 	wk, err := fn(ws, env)
-	p.metrics.callNanos.Add(time.Since(start).Nanoseconds())
+	end := time.Now()
+	elapsed := end.Sub(start)
+	if region != nil {
+		region.End()
+	}
+	if env.rec != nil {
+		env.rec.Span(env.lane, events.KindCall, opNames[op], -1, env.seq, start, end)
+	}
+	p.metrics.callNanos.Add(elapsed.Nanoseconds())
 	p.release(ws)
 	if err != nil {
 		if errors.Is(err, errCanceledRun) {
@@ -335,6 +393,7 @@ func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *
 		return err
 	}
 	p.metrics.calls[op].Add(1)
+	p.metrics.hist[op].observe(elapsed)
 	p.metrics.add(wk)
 	return nil
 }

@@ -39,12 +39,17 @@ func symGSSerial(env *runEnv, tri *sparse.Triangular, b, x []float64, sweeps int
 	if sweeps < 1 {
 		return fmt.Errorf("core: SymGS sweeps=%d: %w", sweeps, ErrBadSweeps)
 	}
+	clock := env.serialClock()
 	for s := 0; s < sweeps; s++ {
 		if env.canceled() {
 			return errCanceledRun
 		}
+		clock.beginSweep(phaseSymGS)
 		symGSForwardRange(tri, b, x, 0, n)
+		clock.endSweepCompute(phaseSymGS, int32(2*s+1))
+		clock.beginSweep(phaseSymGS)
 		symGSBackwardRange(tri, b, x, 0, n)
+		clock.endSweepCompute(phaseSymGS, int32(2*s+2))
 	}
 	return nil
 }
@@ -145,35 +150,39 @@ func (g *SymGSParallel) apply(env *runEnv, b, x []float64, sweeps int) error {
 	}
 	nc := g.ord.NumColors
 	g.pool.Run(func(id int) {
-		clock := env.clock()
+		clock := env.workerClock(id)
 		skip := false
 		for s := 0; s < sweeps; s++ {
+			clock.beginSweep(phaseSymGS)
 			for c := 0; c < nc; c++ {
 				if !skip {
 					bb := g.colorBounds[c]
 					lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
 					symGSForwardRange(g.tri, b, x, lo, hi)
 				}
-				clock.endCompute(phaseSymGS)
+				clock.endCompute(phaseSymGS, int32(c))
 				g.bar.Wait()
-				clock.endWait(phaseSymGS)
+				clock.endWait(phaseSymGS, int32(c))
 				if !skip && env.canceled() {
 					skip = true
 				}
 			}
+			clock.endSweep(phaseSymGS, int32(2*s+1))
+			clock.beginSweep(phaseSymGS)
 			for c := nc - 1; c >= 0; c-- {
 				if !skip {
 					bb := g.colorBounds[c]
 					lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
 					symGSBackwardRange(g.tri, b, x, lo, hi)
 				}
-				clock.endCompute(phaseSymGS)
+				clock.endCompute(phaseSymGS, int32(c))
 				g.bar.Wait()
-				clock.endWait(phaseSymGS)
+				clock.endWait(phaseSymGS, int32(c))
 				if !skip && env.canceled() {
 					skip = true
 				}
 			}
+			clock.endSweep(phaseSymGS, int32(2*s+2))
 		}
 		clock.flush()
 	})

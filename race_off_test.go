@@ -1,0 +1,8 @@
+//go:build !race
+
+package fbmpk
+
+// raceEnabled reports whether the race detector instruments this
+// build; allocation-count assertions are skipped under -race, where
+// sync.Pool caching (and thus AllocsPerRun) is intentionally altered.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package fbmpk
+
+// raceEnabled reports whether the race detector instruments this
+// build; see race_off_test.go.
+const raceEnabled = true
