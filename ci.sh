@@ -21,6 +21,19 @@ go test -race -run 'TestConcurrent|TestPlan(Cancellation|Close|Metrics)' -count 
 # spans per lane, bounded rings, debug HTTP surface).
 go test -race -run 'TestTrace|TestDebugHandler' -count 1 .
 
+# Plan registry: fingerprint determinism, singleflight coalescing, and
+# a bounded -race churn pass (12 goroutines + evictor against a 3-entry
+# LRU over 6 matrices) plus cached-vs-fresh bitwise determinism across
+# every public entry point and double-Close/Close-in-flight regression.
+go test -race ./internal/registry/ -count 1
+go test -race -run 'TestRegistryCachedVsFresh|TestRegistryDebugHandler|TestPlanFingerprint' -count 1 .
+go test -race ./internal/core/ -run 'TestClose' -count 1
+
+# Regenerate the NewPlan build-time record (post side of BENCH_PR5.json)
+# when BENCH_PR5_OUT is set; by default just assert the harness runs.
+BENCH_PR5_OUT=${BENCH_PR5_OUT:-} BENCH_PR5_PHASE=${BENCH_PR5_PHASE:-post} \
+  go test ./internal/bench -run TestWriteBuildBench -count 1
+
 # Observability smoke: a bench run must produce a machine-readable
 # report whose FB plans hold the paper's traffic bound (reads of A per
 # SpMV <= 0.75 at k=4; baseline ~1), and a briefly started debug
@@ -29,6 +42,11 @@ go build -o /tmp/fbmpk_ci_bench ./cmd/fbmpkbench
 /tmp/fbmpk_ci_bench -exp fig7 -matrices cant,pwtk -scale 0.004 -runs 2 -k 4 \
   -json /tmp/fbmpk_ci_run.json > /dev/null
 /tmp/fbmpk_ci_bench -check /tmp/fbmpk_ci_run.json
+# The serving-cache experiment must show actual plan reuse: -check
+# fails on a zero cache hit rate or a singleflight miscount.
+/tmp/fbmpk_ci_bench -exp serving-cache -matrices cant,pwtk -scale 0.004 -runs 2 -k 4 \
+  -json /tmp/fbmpk_ci_cache.json > /dev/null
+/tmp/fbmpk_ci_bench -check /tmp/fbmpk_ci_cache.json
 
 go build -o /tmp/fbmpk_ci_solve ./cmd/solve
 rm -f /tmp/fbmpk_ci_solve.log

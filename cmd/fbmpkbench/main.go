@@ -161,6 +161,23 @@ func checkReport(path string) error {
 	if fb == 0 {
 		return fmt.Errorf("%s: report contains no FB-engine plan snapshots (run with -json and an experiment that records plans, e.g. fig7)", path)
 	}
+	// Registry snapshots (serving-cache): the cache must have been
+	// exercised and must show reuse — a hit rate of zero means every
+	// acquire rebuilt its plan and the registry did nothing.
+	for _, r := range rep.Registries {
+		s := r.Stats
+		if s.Lookups() == 0 {
+			return fmt.Errorf("%s: registry %q recorded no lookups", path, r.Label)
+		}
+		if s.HitRate() <= 0 {
+			return fmt.Errorf("%s: registry %q hit rate is zero (%d hits, %d coalesced over %d lookups): caching is not taking effect",
+				path, r.Label, s.Hits, s.Coalesced, s.Lookups())
+		}
+		if s.Builds != s.Misses {
+			return fmt.Errorf("%s: registry %q built %d plans for %d misses: singleflight failed to coalesce",
+				path, r.Label, s.Builds, s.Misses)
+		}
+	}
 	return nil
 }
 

@@ -37,19 +37,20 @@ func main() {
 		maxIter = flag.Int("maxiter", 2000, "iteration budget")
 		degree  = flag.Int("degree", 8, "chebyshev polynomial degree / krylov s")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		cache   = flag.Bool("cache", false, "acquire the plan through a fingerprint-keyed plan registry (prints the cache key and counters; -http then also exposes fbmpk_cache_* metrics)")
 		metrics = flag.Bool("metrics", false, "print the plan's PlanMetrics snapshot (expvar JSON) after solving")
 		trace   = flag.String("trace", "", "record an execution trace of the solve and write Chrome trace-event JSON to this file")
 		addr    = flag.String("http", "", "serve the plan's debug surface (/metrics, /trace, /debug/pprof) on this address")
 		linger  = flag.Duration("linger", 0, "keep the -http debug server up this long after solving (0 with -http = until interrupted)")
 	)
 	flag.Parse()
-	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *metrics, *trace, *addr, *linger); err != nil {
+	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *cache, *metrics, *trace, *addr, *linger); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, metrics bool, traceFile, httpAddr string, linger time.Duration) error {
+func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, cache, metrics bool, traceFile, httpAddr string, linger time.Duration) error {
 	var (
 		a   *fbmpk.Matrix
 		err error
@@ -66,11 +67,37 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 		return err
 	}
 	fmt.Printf("matrix: %v\n", a)
-	plan, err := fbmpk.NewPlan(a, fbmpk.WithThreads(threads))
-	if err != nil {
-		return err
+	var (
+		plan *fbmpk.Plan
+		reg  *fbmpk.Registry
+	)
+	if cache {
+		// Registry path: the plan is built once under its content
+		// fingerprint; a repeated -cache run in a long-lived process
+		// (or a second Acquire) would hit instead of rebuilding.
+		reg = fbmpk.NewRegistry(4)
+		defer reg.Close()
+		key := fbmpk.PlanFingerprint(a, fbmpk.WithThreads(threads))
+		fmt.Printf("plan fingerprint: %s\n", key)
+		plan, err = reg.Acquire(a, fbmpk.WithThreads(threads))
+		if err != nil {
+			return err
+		}
+		defer reg.Release(plan) //nolint:errcheck // teardown on exit
+		defer func() {
+			s := reg.Stats()
+			fmt.Printf("registry: %d build(s) in %v, %d hit(s), %d coalesced\n",
+				s.Builds, s.BuildTime, s.Hits, s.Coalesced)
+		}()
+	} else {
+		plan, err = fbmpk.NewPlan(a, fbmpk.WithThreads(threads))
+		if err != nil {
+			return err
+		}
+		defer plan.Close()
 	}
-	defer plan.Close()
+	bs := plan.Stats()
+	fmt.Printf("plan build: %v (reorder %v, split %v)\n", bs.BuildTime, bs.ReorderTime, bs.SplitTime)
 	if metrics {
 		// Dump the traffic/time counters accumulated across the whole
 		// solve: every matrix application below runs through this plan.
@@ -89,7 +116,11 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 			return err
 		}
 		fmt.Printf("debug server: http://%s (metrics, trace, debug/pprof)\n", ln.Addr())
-		go http.Serve(ln, fbmpk.DebugHandler(plan)) //nolint:errcheck // best-effort debug surface
+		handler := fbmpk.DebugHandler(plan)
+		if reg != nil {
+			handler = fbmpk.RegistryDebugHandler(reg, plan)
+		}
+		go http.Serve(ln, handler) //nolint:errcheck // best-effort debug surface
 	}
 
 	n := a.Rows

@@ -62,7 +62,20 @@ func WriteTrace(w io.Writer, recs ...*TraceRecorder) error {
 // request, so it is safe to serve concurrently with executions and
 // after Close (the counters simply freeze).
 func DebugHandler(plan *Plan, more ...*Plan) http.Handler {
-	plans := append([]*Plan{plan}, more...)
+	return debugMux(append([]*Plan{plan}, more...), nil)
+}
+
+// RegistryDebugHandler is DebugHandler for a registry-backed serving
+// process: /metrics additionally exposes the plan cache's counters
+// (fbmpk_cache_hits_total, _misses_total, _coalesced_total,
+// _evictions_total, occupancy and cumulative build time) alongside
+// the per-plan families. Pass the long-lived plans worth labeling;
+// the registry itself is scraped as registry="registry".
+func RegistryDebugHandler(reg *Registry, plans ...*Plan) http.Handler {
+	return debugMux(plans, reg)
+}
+
+func debugMux(plans []*Plan, reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snaps := make([]expo.PlanSnapshot, 0, len(plans))
@@ -79,6 +92,11 @@ func DebugHandler(plan *Plan, more ...*Plan) http.Handler {
 		if err := expo.WriteMetrics(w, snaps...); err != nil {
 			// Headers are already out; nothing to do but drop the conn.
 			return
+		}
+		if reg != nil {
+			_ = expo.WriteRegistryMetrics(w, expo.RegistrySnapshot{
+				Name: "registry", Stats: reg.Stats(),
+			})
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {

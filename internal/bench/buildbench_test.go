@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"fbmpk/internal/core"
+	"fbmpk/internal/matgen"
+)
+
+// buildBenchEntry is one measured NewPlan configuration of the
+// BENCH_PR5 pre/post record.
+type buildBenchEntry struct {
+	Phase   string  `json:"phase"` // "pre" (serial seed build) or "post" (parallel build)
+	Matrix  string  `json:"matrix"`
+	Threads int     `json:"threads"`
+	Runs    int     `json:"runs"`
+	MinNs   int64   `json:"min_ns"`
+	GeoNs   int64   `json:"geomean_ns"`
+	MinMs   float64 `json:"min_ms"`
+}
+
+// measureNewPlan times core.NewPlan (build only, plan closed
+// immediately) over runs repetitions and reports min + geomean.
+func measureNewPlan(tb testing.TB, name string, scale float64, threads, runs int) buildBenchEntry {
+	tb.Helper()
+	spec, err := matgen.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	a := spec.Generate(scale, 1)
+	t := Measure(runs, func() {
+		p, err := core.NewPlan(a, core.DefaultOptions(threads))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		p.Close()
+	})
+	return buildBenchEntry{
+		Matrix:  name,
+		Threads: threads,
+		Runs:    t.Runs,
+		MinNs:   int64(t.Min),
+		GeoNs:   int64(t.GeoMean),
+		MinMs:   float64(t.Min) / float64(time.Millisecond),
+	}
+}
+
+// TestWriteBuildBench measures NewPlan at Threads in {1, 8} on the
+// bench matrices and writes the entries as JSON to $BENCH_PR5_OUT
+// (skipped when unset). ci.sh uses it for the "post" side of
+// BENCH_PR5.json; the committed "pre" side was recorded with the same
+// harness at the seed commit before the parallel-preprocessing change.
+func TestWriteBuildBench(t *testing.T) {
+	out := os.Getenv("BENCH_PR5_OUT")
+	if out == "" {
+		t.Skip("BENCH_PR5_OUT not set")
+	}
+	phase := os.Getenv("BENCH_PR5_PHASE")
+	if phase == "" {
+		phase = "post"
+	}
+	scale := 0.05
+	runs := 5
+	var entries []buildBenchEntry
+	for _, name := range []string{"cant", "pwtk", "G3_circuit"} {
+		for _, threads := range []int{1, 8} {
+			e := measureNewPlan(t, name, scale, threads, runs)
+			e.Phase = phase
+			entries = append(entries, e)
+			t.Logf("%s %s threads=%d min=%v geomean=%v", phase, name, threads,
+				time.Duration(e.MinNs), time.Duration(e.GeoNs))
+		}
+	}
+	b, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

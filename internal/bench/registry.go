@@ -35,6 +35,7 @@ func Registry() []Experiment {
 		{"abl-wavefront", "Ablation: FBMPK vs level-based (LB-MPK-style) traffic", AblationWavefront},
 		{"abl-multirhs", "Ablation: batched multi-RHS FBMPK vs m independent runs", MultiRHS},
 		{"serving", "Serving: concurrent callers on one shared plan + metrics", Serving},
+		{"serving-cache", "Serving: plan registry amortization + singleflight coalescing", ServingCache},
 	}
 }
 
@@ -72,7 +73,7 @@ func Run(w io.Writer, cfg Config, names []string) error {
 			}
 		case "paper":
 			for _, e := range Registry() {
-				if !strings.HasPrefix(e.Name, "abl-") && e.Name != "serving" {
+				if !strings.HasPrefix(e.Name, "abl-") && !strings.HasPrefix(e.Name, "serving") {
 					want[e.Name] = true
 				}
 			}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fbmpk/internal/core"
+	"fbmpk/internal/registry"
 )
 
 // Report is the machine-readable record of one fbmpkbench invocation:
@@ -22,6 +23,7 @@ type Report struct {
 	Config        ReportConfig       `json:"config"`
 	Experiments   []ExperimentRecord `json:"experiments"`
 	Plans         []PlanRecord       `json:"plans,omitempty"`
+	Registries    []RegistryRecord   `json:"registries,omitempty"`
 
 	mu sync.Mutex
 }
@@ -50,6 +52,15 @@ type PlanRecord struct {
 	Experiment string           `json:"experiment"`
 	Label      string           `json:"label"`
 	Metrics    core.PlanMetrics `json:"metrics"`
+}
+
+// RegistryRecord is one plan-registry's counter snapshot, attributed
+// to the experiment that drove it. The hit/miss/coalesced split is
+// what the CI gate asserts on (serving-cache must show reuse).
+type RegistryRecord struct {
+	Experiment string         `json:"experiment"`
+	Label      string         `json:"label"`
+	Stats      registry.Stats `json:"stats"`
 }
 
 // NewReport starts a report for the given config.
@@ -133,4 +144,17 @@ func (c Config) RecordPlan(experiment, label string, p *core.Plan) {
 		return
 	}
 	c.Report.addPlan(PlanRecord{Experiment: experiment, Label: label, Metrics: p.Metrics()})
+}
+
+// RecordRegistry snapshots a plan registry's counters into the run's
+// report; no-op when the config carries no report or the registry is
+// nil.
+func (c Config) RecordRegistry(experiment, label string, reg *registry.Registry) {
+	if c.Report == nil || reg == nil {
+		return
+	}
+	c.Report.mu.Lock()
+	defer c.Report.mu.Unlock()
+	c.Report.Registries = append(c.Report.Registries,
+		RegistryRecord{Experiment: experiment, Label: label, Stats: reg.Stats()})
 }

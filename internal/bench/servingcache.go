@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"fbmpk/internal/core"
+	"fbmpk/internal/registry"
+)
+
+// ServingCache measures the plan registry in a serving scenario: a
+// process that repeatedly receives requests naming one of the suite
+// matrices. The first request for a matrix pays the full NewPlan
+// preprocessing (ABMC reorder + L+D+U split); every subsequent request
+// is a fingerprint lookup that returns the cached plan. The table
+// reports, per matrix, the one-off build cost against the steady-state
+// hit-path acquire cost — the amortization of Section V-F carried
+// across plan lifetimes — plus a burst of concurrent first requests to
+// show singleflight coalescing (one build, not eight).
+func ServingCache(w io.Writer, cfg Config) error {
+	cfg = cfg.Normalize()
+	specs, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	const (
+		callers = 8 // concurrent cold-start burst per matrix
+		rounds  = 16
+	)
+
+	reg := registry.New(len(specs)) // capacity for the whole suite
+	defer reg.Close()
+
+	t := &Table{
+		Title: fmt.Sprintf("Serving with plan registry: %d cold callers, %d warm rounds (k=%d, threads=%d, scale=%g)",
+			callers, rounds, cfg.K, cfg.Threads, cfg.Scale),
+		Header: []string{"input", "build", "hit acquire", "amortize x", "coalesced"},
+	}
+	opt := core.DefaultOptions(cfg.Threads)
+	for _, s := range specs {
+		mat := s.Generate(cfg.Scale, cfg.Seed)
+		x0 := detVec(mat.Rows, cfg.Seed)
+
+		// Cold start: a burst of concurrent callers all wanting this
+		// matrix. Exactly one build runs; the rest coalesce onto it.
+		pre := reg.Stats()
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p, err := reg.Acquire(mat, opt)
+				if err != nil {
+					panic(err)
+				}
+				if _, err := p.MPK(x0, cfg.K); err != nil {
+					panic(err)
+				}
+				if err := reg.Release(p); err != nil {
+					panic(err)
+				}
+			}()
+		}
+		wg.Wait()
+		post := reg.Stats()
+		if got := post.Builds - pre.Builds; got != 1 {
+			return fmt.Errorf("bench: serving-cache: %s: %d builds for one key, want 1", s.Name, got)
+		}
+		coalesced := post.Coalesced - pre.Coalesced
+
+		// Steady state: repeated warm requests; time the hit path.
+		hitStart := time.Now()
+		for r := 0; r < rounds; r++ {
+			p, err := reg.Acquire(mat, opt)
+			if err != nil {
+				return err
+			}
+			if err := reg.Release(p); err != nil {
+				return err
+			}
+		}
+		hit := time.Since(hitStart) / rounds
+
+		// The build cost the hits avoided, from the plan's own stats.
+		p, err := reg.Acquire(mat, opt)
+		if err != nil {
+			return err
+		}
+		build := p.Stats().BuildTime
+		cfg.RecordPlan("serving-cache", "serving-cache:"+s.Name, p)
+		if err := reg.Release(p); err != nil {
+			return err
+		}
+
+		amortize := 0.0
+		if hit > 0 {
+			amortize = float64(build) / float64(hit)
+		}
+		t.AddRow(s.Name, build.String(), hit.String(), f2(amortize), fmt.Sprint(coalesced))
+	}
+
+	final := reg.Stats()
+	t.AddNote("registry: %d builds for %d acquires (hit rate %.1f%%), %d coalesced onto in-flight builds, cumulative build time %s",
+		final.Builds, final.Lookups(), 100*final.HitRate(), final.Coalesced, final.BuildTime)
+	t.AddNote("'amortize x' = plan build time / warm acquire latency: how many cache hits repay one preprocessing run")
+	cfg.RecordRegistry("serving-cache", "registry", reg)
+	return cfg.Emit(w, t)
+}

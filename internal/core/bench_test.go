@@ -201,3 +201,22 @@ func BenchmarkPlanBuild(b *testing.B) {
 		p.Close()
 	}
 }
+
+// BenchmarkNewPlan measures the full preprocessing pipeline (RCM,
+// block graph + coloring, permutation apply, L+D+U split) at the
+// thread counts BENCH_PR5.json tracks; sub-benchmark names are stable
+// for benchstat across commits.
+func BenchmarkNewPlan(b *testing.B) {
+	a := coreBenchMatrix(b)
+	for _, threads := range []int{1, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := NewPlan(a, DefaultOptions(threads))
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Close()
+			}
+		})
+	}
+}

@@ -161,6 +161,39 @@ type PlanMetrics struct {
 	// Latency holds the per-op call duration histogram (log-linear,
 	// 12.5% relative bucket error) with derived p50/p90/p99.
 	Latency map[string]OpLatency `json:"latency_by_op,omitempty"`
+
+	// Build is the one-off construction cost breakdown of the plan
+	// (PlanStats rendered into the snapshot), so the /metrics surface
+	// can report how much preprocessing a cache hit amortizes away.
+	Build BuildBreakdown `json:"build"`
+}
+
+// BuildBreakdown is the plan-construction stage breakdown carried in
+// a PlanMetrics snapshot. Stage fields are zero when the stage did
+// not run (e.g. no ABMC for a serial FB plan).
+type BuildBreakdown struct {
+	Total    time.Duration `json:"total_ns"`
+	RCM      time.Duration `json:"rcm_ns,omitempty"`
+	Graph    time.Duration `json:"graph_ns,omitempty"`
+	Color    time.Duration `json:"color_ns,omitempty"`
+	Perm     time.Duration `json:"perm_ns,omitempty"`
+	Split    time.Duration `json:"split_ns,omitempty"`
+	Reorder  time.Duration `json:"reorder_ns,omitempty"`
+	Parallel bool          `json:"parallel"`
+}
+
+// buildBreakdown renders PlanStats into the snapshot form.
+func buildBreakdown(s PlanStats) BuildBreakdown {
+	return BuildBreakdown{
+		Total:    s.BuildTime,
+		RCM:      s.RCMTime,
+		Graph:    s.GraphTime,
+		Color:    s.ColorTime,
+		Perm:     s.PermTime,
+		Split:    s.SplitTime,
+		Reorder:  s.ReorderTime,
+		Parallel: s.ParallelPrep,
+	}
 }
 
 // String renders the snapshot as JSON, satisfying expvar.Var.

@@ -115,21 +115,37 @@ type Plan struct {
 	// stored diagonal entries: nnzA - nnzL - nnzU).
 	nnzA, nnzL, nnzU, nnzD uint64
 
-	gate    *parallel.Gate
-	wsPool  sync.Pool
-	metrics planMetrics
-	rec     atomic.Pointer[events.Recorder] // nil = tracing disabled
+	gate     *parallel.Gate
+	wsPool   sync.Pool
+	metrics  planMetrics
+	rec      atomic.Pointer[events.Recorder] // nil = tracing disabled
+	closeOne sync.Once
+	closed   chan struct{} // closed once teardown completes
 
 	stats PlanStats
 }
 
 // PlanStats reports the one-off preprocessing cost of building a plan
-// — the quantity Fig 11 of the paper normalizes to SpMV invocations.
+// — the quantity Fig 11 of the paper normalizes to SpMV invocations —
+// broken down by stage. For parallel plans (Threads > 1) the O(nnz)
+// stages (block-graph discovery, permutation apply, L+D+U split) run
+// row-parallel on the plan's worker pool; RCM and the greedy coloring
+// stay serial, the first because its BFS is inherently sequential and
+// the second because a deterministic visit order is what keeps cached
+// and fresh plans bitwise identical.
 type PlanStats struct {
-	ReorderTime time.Duration // ABMC permutation construction + apply
-	SplitTime   time.Duration // A = L + D + U
+	BuildTime   time.Duration // total NewPlan wall time
+	ReorderTime time.Duration // ABMC total: RCM + graph + color + apply
+	RCMTime     time.Duration // reverse Cuthill-McKee pre-pass (serial)
+	GraphTime   time.Duration // block-graph discovery (parallel)
+	ColorTime   time.Duration // greedy coloring (serial by design)
+	PermTime    time.Duration // symmetric permutation apply (parallel)
+	SplitTime   time.Duration // A = L + D + U (parallel)
 	NumColors   int           // 0 when no ABMC was applied
 	NumBlocks   int
+	// ParallelPrep reports whether preprocessing ran on the worker
+	// pool (Threads > 1) rather than the serial path.
+	ParallelPrep bool
 }
 
 // NewPlan prepares an executor for the square matrix a. The input
@@ -148,9 +164,26 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: NewPlan: %w", sparse.ErrNotSquare)
 	}
-	p := &Plan{opt: opt, n: a.Rows, a: a}
+	buildStart := time.Now()
+	p := &Plan{opt: opt, n: a.Rows, a: a, closed: make(chan struct{})}
 	parallelRun := opt.Threads > 1
 	needABMC := opt.ForceABMC || (parallelRun && opt.Engine == EngineForwardBackward)
+
+	// The worker pool is created before preprocessing so the O(nnz)
+	// build stages (block graph, permutation apply, split) run on it;
+	// after construction the same pool serves the parallel engines.
+	var runner sparse.Runner
+	if parallelRun {
+		p.pool = parallel.NewPoolNamed(opt.Threads, "plan")
+		runner = p.pool
+		p.stats.ParallelPrep = true
+	}
+	fail := func(err error) (*Plan, error) {
+		if p.pool != nil {
+			p.pool.Close()
+		}
+		return nil, err
+	}
 
 	if needABMC {
 		start := time.Now()
@@ -159,27 +192,37 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 		if opt.PreRCM {
 			rcm, err := reorder.RCM(a)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			rm, err := rcm.ApplySym(a)
+			rm, err := rcm.ApplySymPool(a, runner)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			base, pre = rm, rcm
+			p.stats.RCMTime = time.Since(start)
 		}
-		ord, b, err := reorder.ABMCReorder(base, reorder.ABMCOptions{
+		ord, err := reorder.ABMC(base, reorder.ABMCOptions{
 			NumBlocks:  opt.NumBlocks,
 			ColorOrder: opt.ColorOrder,
+			Pool:       runner,
 		})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
+		permStart := time.Now()
+		b, err := ord.Perm.ApplySymPool(base, runner)
+		if err != nil {
+			return fail(err)
+		}
+		p.stats.PermTime = time.Since(permStart)
 		if pre != nil {
 			// Fold the RCM pre-pass into the ABMC permutation so the
 			// rest of the plan sees a single combined ordering.
 			ord.Perm = ord.Perm.Compose(pre)
 		}
 		p.stats.ReorderTime = time.Since(start)
+		p.stats.GraphTime = ord.GraphTime
+		p.stats.ColorTime = ord.ColorTime
 		p.stats.NumColors = ord.NumColors
 		p.stats.NumBlocks = ord.NumBlocks()
 		p.ord = ord
@@ -187,9 +230,9 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 	}
 	if opt.Engine == EngineForwardBackward {
 		start := time.Now()
-		tri, err := sparse.Split(p.a)
+		tri, err := sparse.SplitPool(p.a, runner)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		p.stats.SplitTime = time.Since(start)
 		p.tri = tri
@@ -200,13 +243,11 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 		p.nnzU = uint64(len(p.tri.U.Val))
 		p.nnzD = p.nnzA - p.nnzL - p.nnzU
 	}
-	if parallelRun {
-		p.pool = parallel.NewPoolNamed(opt.Threads, "plan")
+	if p.pool != nil {
 		if opt.Engine == EngineForwardBackward {
 			fb, err := NewFBParallel(p.tri, p.ord, p.pool)
 			if err != nil {
-				p.pool.Close()
-				return nil, err
+				return fail(err)
 			}
 			p.fb = fb
 			p.fbm = NewFBParallelMulti(fb)
@@ -216,8 +257,7 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 			// would be mutable state racing under concurrent SymGS calls.
 			sym, err := NewSymGSParallel(p.tri, p.ord, p.pool)
 			if err != nil {
-				p.pool.Close()
-				return nil, err
+				return fail(err)
 			}
 			p.sym = sym
 		}
@@ -235,6 +275,7 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 			return nil, err
 		}
 	}
+	p.stats.BuildTime = time.Since(buildStart)
 	return p, nil
 }
 
@@ -263,11 +304,35 @@ func (p *Plan) audit() error {
 // Close retires the plan: later calls fail with ErrClosed, executions
 // already admitted (and callers already queued at the gate) run to
 // completion, and once the plan has drained the worker pool is
-// released. Safe to call concurrently with executions; idempotent.
+// released. Safe to call concurrently with executions and with other
+// Close calls; idempotent, and every Close call — not just the first —
+// returns only after teardown has completed, so a caller returning
+// from Close may rely on the worker pool being gone. The registry
+// leans on these semantics for safe deferred eviction: a plan may be
+// closed by LRU eviction, by Registry.Close, and by a defensive user
+// Close without double-teardown.
 func (p *Plan) Close() {
-	p.gate.Close()
-	if p.pool != nil {
-		p.pool.Close()
+	p.closeOne.Do(func() {
+		// Drain first (gate.Close blocks until in-flight executions
+		// leave), then stop the pool the executions were running on.
+		p.gate.Close()
+		if p.pool != nil {
+			p.pool.Close()
+		}
+		close(p.closed)
+	})
+	<-p.closed
+}
+
+// Closed reports whether Close has completed. A false return is
+// advisory only — a concurrent Close may be in progress — but a true
+// return is final: every later execution fails with ErrClosed.
+func (p *Plan) Closed() bool {
+	select {
+	case <-p.closed:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -280,7 +345,11 @@ func (p *Plan) Stats() PlanStats { return p.stats }
 // Metrics returns a point-in-time snapshot of the plan's execution
 // counters; see PlanMetrics. Safe to call at any time, including
 // concurrently with executions.
-func (p *Plan) Metrics() PlanMetrics { return p.metrics.snapshot(p.nnzA) }
+func (p *Plan) Metrics() PlanMetrics {
+	m := p.metrics.snapshot(p.nnzA)
+	m.Build = buildBreakdown(p.stats)
+	return m
+}
 
 // StartTrace attaches an event recorder: subsequent executions record
 // call, sweep, compute, and barrier spans into it until StopTrace.

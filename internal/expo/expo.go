@@ -77,6 +77,23 @@ func WriteMetrics(w io.Writer, snaps ...PlanSnapshot) error {
 		pw.sample("fbmpk_reads_of_a_per_spmv", labels{{"plan", s.Name}}, s.Metrics.ReadsPerSpMV)
 	}
 
+	pw.family("fbmpk_build_seconds", "One-off plan construction wall time by preprocessing stage.", "gauge")
+	for _, s := range snaps {
+		b := s.Metrics.Build
+		for _, st := range []struct {
+			stage string
+			d     time.Duration
+		}{
+			{"total", b.Total}, {"rcm", b.RCM}, {"graph", b.Graph},
+			{"color", b.Color}, {"perm", b.Perm}, {"split", b.Split},
+		} {
+			if st.d == 0 && st.stage != "total" {
+				continue // stage did not run for this plan shape
+			}
+			pw.sample("fbmpk_build_seconds", labels{{"plan", s.Name}, {"stage", st.stage}}, st.d.Seconds())
+		}
+	}
+
 	pw.family("fbmpk_call_seconds_total", "Wall time spent inside engine executions.", "counter")
 	for _, s := range snaps {
 		pw.sample("fbmpk_call_seconds_total", labels{{"plan", s.Name}}, s.Metrics.CallTime.Seconds())

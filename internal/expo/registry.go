@@ -1,0 +1,65 @@
+package expo
+
+import (
+	"bufio"
+	"io"
+
+	"fbmpk/internal/registry"
+)
+
+// RegistrySnapshot pairs a plan registry's scrape label with its
+// counter snapshot.
+type RegistrySnapshot struct {
+	Name  string
+	Stats registry.Stats
+}
+
+// WriteRegistryMetrics renders plan-cache counters in the Prometheus
+// text format, in the same deterministic style as WriteMetrics: the
+// cache traffic split (hits / misses / coalesced singleflight waits),
+// build outcomes, evictions, occupancy, and the cumulative build time
+// the cache's hits avoided re-paying.
+func WriteRegistryMetrics(w io.Writer, snaps ...RegistrySnapshot) error {
+	pw := &promWriter{bw: bufio.NewWriter(w)}
+
+	counter := func(name, help string, get func(registry.Stats) float64) {
+		pw.family(name, help, "counter")
+		for _, s := range snaps {
+			pw.sample(name, labels{{"registry", s.Name}}, get(s.Stats))
+		}
+	}
+	gauge := func(name, help string, get func(registry.Stats) float64) {
+		pw.family(name, help, "gauge")
+		for _, s := range snaps {
+			pw.sample(name, labels{{"registry", s.Name}}, get(s.Stats))
+		}
+	}
+
+	counter("fbmpk_cache_hits_total", "Acquires served from an already-built cached plan.",
+		func(s registry.Stats) float64 { return float64(s.Hits) })
+	counter("fbmpk_cache_misses_total", "Acquires that triggered a plan build.",
+		func(s registry.Stats) float64 { return float64(s.Misses) })
+	counter("fbmpk_cache_coalesced_total", "Acquires that joined another caller's in-flight build (singleflight).",
+		func(s registry.Stats) float64 { return float64(s.Coalesced) })
+	counter("fbmpk_cache_builds_total", "Successful plan constructions.",
+		func(s registry.Stats) float64 { return float64(s.Builds) })
+	counter("fbmpk_cache_build_failures_total", "Plan constructions that returned an error.",
+		func(s registry.Stats) float64 { return float64(s.BuildFailures) })
+	counter("fbmpk_cache_evictions_total", "Entries evicted by LRU capacity pressure or registry Close.",
+		func(s registry.Stats) float64 { return float64(s.Evictions) })
+	counter("fbmpk_cache_build_seconds_total", "Cumulative wall time of successful plan builds.",
+		func(s registry.Stats) float64 { return s.BuildTime.Seconds() })
+	gauge("fbmpk_cache_entries", "Cached plans (ready or building).",
+		func(s registry.Stats) float64 { return float64(s.Entries) })
+	gauge("fbmpk_cache_live", "Cached plans with outstanding references.",
+		func(s registry.Stats) float64 { return float64(s.Live) })
+	gauge("fbmpk_cache_capacity", "Configured LRU capacity (0 = unbounded).",
+		func(s registry.Stats) float64 { return float64(s.Capacity) })
+	gauge("fbmpk_cache_hit_rate", "Fraction of lookups served without a build.",
+		func(s registry.Stats) float64 { return s.HitRate() })
+
+	if pw.err != nil {
+		return pw.err
+	}
+	return pw.bw.Flush()
+}

@@ -34,6 +34,20 @@ func (g *Adj) Neighbors(v int) []int32 { return g.Nbr[g.Ptr[v]:g.Ptr[v+1]] }
 // j in different blocks. The symmetrized pattern of A is used, so the
 // coloring is valid for both the forward (L) and backward (U) sweeps.
 func BlockGraph(a *sparse.CSR, blockPtr []int32) (*Adj, error) {
+	return BlockGraphPool(a, blockPtr, nil)
+}
+
+// BlockGraphPool is BlockGraph with the O(nnz) discovery pass
+// block-parallelized over r (nil = serial). The construction is two
+// passes over array structures (no hash map): first each block scans
+// its own rows and collects its sorted distinct out-neighbor blocks —
+// blocks partition rows contiguously, so workers touch disjoint
+// state — then the out-lists are symmetrized by a cheap O(edges)
+// reversal and per-block sorted merges (again block-parallel). The
+// resulting adjacency (sorted, deduplicated) is identical for every
+// worker count, which keeps the downstream greedy coloring — and
+// therefore the whole ABMC ordering — deterministic.
+func BlockGraphPool(a *sparse.CSR, blockPtr []int32, r sparse.Runner) (*Adj, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("graph: BlockGraph needs a square matrix, got %dx%d", a.Rows, a.Cols)
 	}
@@ -41,53 +55,109 @@ func BlockGraph(a *sparse.CSR, blockPtr []int32) (*Adj, error) {
 	if nb < 0 || blockPtr[0] != 0 || int(blockPtr[nb]) != a.Rows {
 		return nil, fmt.Errorf("graph: bad block pointer (nb=%d)", nb)
 	}
-	// rowBlock[i] = block containing row i.
-	rowBlock := make([]int32, a.Rows)
 	for b := 0; b < nb; b++ {
 		if blockPtr[b] > blockPtr[b+1] {
 			return nil, fmt.Errorf("graph: block pointer not monotone at %d", b)
 		}
-		for i := blockPtr[b]; i < blockPtr[b+1]; i++ {
-			rowBlock[i] = int32(b)
-		}
 	}
-
-	// Collect block-level edges. Pattern asymmetry is handled by
-	// inserting both directions.
-	type edge struct{ u, v int32 }
-	edges := make(map[edge]struct{}, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		bi := rowBlock[i]
-		cols, _ := a.Row(i)
-		for _, c := range cols {
-			bj := rowBlock[c]
-			if bi == bj {
-				continue
+	// rowBlock[i] = block containing row i, filled block-parallel
+	// (each block owns a contiguous row range).
+	rowBlock := make([]int32, a.Rows)
+	sparse.ForRanges(r, 0, nb, func(_, start, end int) {
+		for b := start; b < end; b++ {
+			for i := blockPtr[b]; i < blockPtr[b+1]; i++ {
+				rowBlock[i] = int32(b)
 			}
-			edges[edge{bi, bj}] = struct{}{}
-			edges[edge{bj, bi}] = struct{}{}
+		}
+	})
+
+	// Pass 1: per-block distinct out-neighbors, deduplicated with a
+	// per-worker stamp array (seen[bj] holds the id of the last block
+	// that recorded bj, so no clearing between blocks).
+	outs := make([][]int32, nb)
+	sparse.ForRanges(r, 0, nb, func(_, start, end int) {
+		seen := make([]int32, nb) // seen[bj] == b+1 marks bj recorded for block b
+		for b := start; b < end; b++ {
+			stamp := int32(b + 1)
+			var list []int32
+			for i := blockPtr[b]; i < blockPtr[b+1]; i++ {
+				cols, _ := a.Row(int(i))
+				for _, c := range cols {
+					bj := rowBlock[c]
+					if bj != int32(b) && seen[bj] != stamp {
+						seen[bj] = stamp
+						list = append(list, bj)
+					}
+				}
+			}
+			sort.Slice(list, func(x, y int) bool { return list[x] < list[y] })
+			outs[b] = list
+		}
+	})
+
+	// Reversal: ins[bj] collects every b with bj in outs[b]. Iterating
+	// b ascending appends in increasing order, so the in-lists come out
+	// sorted with no extra sort. O(block edges), serial — the edge count
+	// is bounded by nb * degree, far below nnz.
+	insCnt := make([]int32, nb)
+	for b := 0; b < nb; b++ {
+		for _, bj := range outs[b] {
+			insCnt[bj]++
+		}
+	}
+	ins := make([][]int32, nb)
+	for b := 0; b < nb; b++ {
+		ins[b] = make([]int32, 0, insCnt[b])
+	}
+	for b := 0; b < nb; b++ {
+		for _, bj := range outs[b] {
+			ins[bj] = append(ins[bj], int32(b))
 		}
 	}
 
+	// Pass 2: per-block sorted merge of out- and in-lists (the
+	// symmetrized adjacency), then assembly into the CSR-like Adj.
+	merged := make([][]int32, nb)
+	sparse.ForRanges(r, 0, nb, func(_, start, end int) {
+		for b := start; b < end; b++ {
+			merged[b] = mergeSorted(outs[b], ins[b])
+		}
+	})
 	g := &Adj{N: nb, Ptr: make([]int64, nb+1)}
-	for e := range edges {
-		g.Ptr[e.u+1]++
-	}
 	for b := 0; b < nb; b++ {
-		g.Ptr[b+1] += g.Ptr[b]
+		g.Ptr[b+1] = g.Ptr[b] + int64(len(merged[b]))
 	}
-	g.Nbr = make([]int32, len(edges))
-	next := make([]int64, nb)
-	copy(next, g.Ptr[:nb])
-	for e := range edges {
-		g.Nbr[next[e.u]] = e.v
-		next[e.u]++
-	}
-	for b := 0; b < nb; b++ {
-		nbrs := g.Nbr[g.Ptr[b]:g.Ptr[b+1]]
-		sort.Slice(nbrs, func(x, y int) bool { return nbrs[x] < nbrs[y] })
-	}
+	g.Nbr = make([]int32, g.Ptr[nb])
+	sparse.ForRanges(r, 0, nb, func(_, start, end int) {
+		for b := start; b < end; b++ {
+			copy(g.Nbr[g.Ptr[b]:g.Ptr[b+1]], merged[b])
+		}
+	})
 	return g, nil
+}
+
+// mergeSorted returns the sorted union of two ascending slices with
+// duplicates dropped.
+func mergeSorted(x, y []int32) []int32 {
+	out := make([]int32, 0, len(x)+len(y))
+	p, q := 0, 0
+	for p < len(x) || q < len(y) {
+		var v int32
+		switch {
+		case q >= len(y) || (p < len(x) && x[p] < y[q]):
+			v = x[p]
+			p++
+		case p >= len(x) || y[q] < x[p]:
+			v = y[q]
+			q++
+		default:
+			v = x[p]
+			p++
+			q++
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // FromCSRPattern builds the row-level adjacency of a square matrix's

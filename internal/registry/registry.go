@@ -1,0 +1,339 @@
+package registry
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fbmpk/internal/core"
+	"fbmpk/internal/sparse"
+)
+
+// Typed errors returned by Registry methods; match with errors.Is.
+var (
+	// ErrRegistryClosed reports an Acquire on a closed registry.
+	ErrRegistryClosed = errors.New("registry is closed")
+	// ErrNotAcquired reports a Release of a plan the registry does not
+	// hold a live reference for (never acquired, or already fully
+	// released).
+	ErrNotAcquired = errors.New("plan not acquired from this registry")
+)
+
+// Registry is a ref-counted, LRU-evicting cache of prepared Plans
+// keyed by the content Fingerprint of (matrix, canonicalized
+// options).
+//
+//   - Acquire returns the cached plan on a hit, skipping
+//     preprocessing entirely; on a miss it builds one.
+//   - Concurrent Acquires of the same key coalesce onto a single
+//     build (singleflight): one caller builds, the rest wait on the
+//     same entry.
+//   - Release drops a reference. Eviction (capacity pressure or
+//     registry Close) never closes a plan that is still referenced;
+//     the plan is closed by whichever Release drains the last
+//     reference. Plan.Close is idempotent, so a belt-and-braces
+//     caller that also closes an acquired plan is tolerated (but the
+//     registry then drops the entry on its next eviction).
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	capacity int
+	closed   bool
+	entries  map[Key]*entry
+	byPlan   map[*core.Plan]*entry
+	lru      *list.List // of *entry; front = most recently used
+
+	hits          uint64
+	misses        uint64
+	coalesced     uint64
+	builds        uint64
+	buildFailures uint64
+	evictions     uint64
+	buildTime     time.Duration
+}
+
+// entry is one cached (or in-flight) plan. refs counts outstanding
+// Acquires not yet Released. evicted entries have left the map/LRU
+// but stay alive until refs drains to zero, at which point the last
+// Release closes the plan.
+type entry struct {
+	key     Key
+	refs    int
+	evicted bool
+	elem    *list.Element // nil once evicted
+
+	done chan struct{} // closed when build finishes (plan/err valid)
+	plan *core.Plan
+	err  error
+}
+
+// Stats is a point-in-time snapshot of registry counters.
+type Stats struct {
+	Capacity int `json:"capacity"` // 0 = unbounded
+	Entries  int `json:"entries"`  // cached entries (ready or building)
+	Live     int `json:"live"`     // entries with outstanding references
+
+	Hits          uint64 `json:"hits"`      // served from cache, build already done
+	Misses        uint64 `json:"misses"`    // triggered a build
+	Coalesced     uint64 `json:"coalesced"` // joined another caller's in-flight build
+	Builds        uint64 `json:"builds"`    // successful plan constructions
+	BuildFailures uint64 `json:"build_failures"`
+	Evictions     uint64 `json:"evictions"`
+
+	// BuildTime is the cumulative wall time of successful builds —
+	// the preprocessing cost the cache's hits avoided paying again.
+	BuildTime time.Duration `json:"build_time_ns"`
+}
+
+// Lookups returns the total number of Acquire key lookups.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses + s.Coalesced }
+
+// HitRate is the fraction of lookups that did not trigger a build
+// (hits plus coalesced waits), in [0, 1]. Zero when no lookups yet.
+func (s Stats) HitRate() float64 {
+	total := s.Lookups()
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+// New creates a registry holding at most capacity plans; capacity <= 0
+// means unbounded (no LRU eviction, plans stay cached until Close).
+func New(capacity int) *Registry {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Registry{
+		capacity: capacity,
+		entries:  make(map[Key]*entry),
+		byPlan:   make(map[*core.Plan]*entry),
+		lru:      list.New(),
+	}
+}
+
+// Acquire returns a plan for matrix a built with opts, taking one
+// reference that the caller must pair with Release. The key is
+// Fingerprint(a, opts): a cache hit returns the already-built plan
+// without touching the matrix beyond hashing it; concurrent misses on
+// one key coalesce onto a single build.
+//
+// The caller must not mutate a or close the returned plan while the
+// reference is held (Release, not Close, is the hand-back).
+func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, error) {
+	opt := Canonicalize(core.BuildOptions(opts...))
+	// Validate before hashing so a malformed CSR fails fast with the
+	// same typed error NewPlan would return, instead of a bogus key.
+	if a == nil {
+		return nil, fmt.Errorf("registry: Acquire: nil matrix: %w", core.ErrInvalidMatrix)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("registry: Acquire: %w: %v", core.ErrInvalidMatrix, err)
+	}
+	key := Fingerprint(a, opt)
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("registry: Acquire: %w", ErrRegistryClosed)
+	}
+	if e, ok := r.entries[key]; ok {
+		e.refs++
+		r.lru.MoveToFront(e.elem)
+		built := false
+		select {
+		case <-e.done:
+			built = true
+		default:
+		}
+		if built {
+			r.hits++
+		} else {
+			r.coalesced++
+		}
+		r.mu.Unlock()
+		<-e.done // no-op when built; else wait for the flight owner
+		if e.err != nil {
+			// Failed build: the owner already unlinked the entry;
+			// just drop our reference.
+			r.mu.Lock()
+			e.refs--
+			r.mu.Unlock()
+			return nil, e.err
+		}
+		return e.plan, nil
+	}
+
+	// Miss: insert a building entry and become the flight owner.
+	e := &entry{key: key, refs: 1, done: make(chan struct{})}
+	e.elem = r.lru.PushFront(e)
+	r.entries[key] = e
+	r.misses++
+	toClose := r.evictOverflowLocked()
+	r.mu.Unlock()
+	for _, p := range toClose {
+		p.Close()
+	}
+
+	buildStart := time.Now()
+	plan, err := core.NewPlan(a, opt)
+	elapsed := time.Since(buildStart)
+
+	r.mu.Lock()
+	e.plan, e.err = plan, err
+	if err != nil {
+		r.buildFailures++
+		r.unlinkLocked(e)
+		e.refs--
+	} else {
+		r.builds++
+		r.buildTime += elapsed
+		r.byPlan[plan] = e
+	}
+	close(e.done)
+	shouldClose := err == nil && e.evicted && e.refs == 0
+	r.mu.Unlock()
+	if shouldClose {
+		// Evicted (or registry-closed) while building and every waiter
+		// already bailed: nobody holds it, tear it down now.
+		r.closeEvicted(plan, e)
+	}
+	return plan, err
+}
+
+// Release drops one reference taken by Acquire. When the entry has
+// been evicted and this was the last reference, the plan is closed
+// here (never under the registry lock).
+func (r *Registry) Release(p *core.Plan) error {
+	if p == nil {
+		return fmt.Errorf("registry: Release: %w", ErrNotAcquired)
+	}
+	r.mu.Lock()
+	e, ok := r.byPlan[p]
+	if !ok || e.refs <= 0 {
+		r.mu.Unlock()
+		return fmt.Errorf("registry: Release: %w", ErrNotAcquired)
+	}
+	e.refs--
+	shouldClose := e.evicted && e.refs == 0
+	r.mu.Unlock()
+	if shouldClose {
+		r.closeEvicted(p, e)
+	}
+	return nil
+}
+
+// closeEvicted finalizes an evicted, fully released entry:
+// closes the plan first (Close drains in-flight executions, so it
+// must not run under the lock), then unregisters the plan pointer.
+func (r *Registry) closeEvicted(p *core.Plan, e *entry) {
+	p.Close()
+	r.mu.Lock()
+	if cur, ok := r.byPlan[p]; ok && cur == e {
+		delete(r.byPlan, p)
+	}
+	r.mu.Unlock()
+}
+
+// evictOverflowLocked evicts least-recently-used entries until the
+// capacity bound holds, returning any plans that must be closed by
+// the caller after unlocking. Entries still referenced (or still
+// building) are only marked evicted; their last Release closes them.
+func (r *Registry) evictOverflowLocked() []*core.Plan {
+	if r.capacity <= 0 {
+		return nil
+	}
+	var toClose []*core.Plan
+	for len(r.entries) > r.capacity {
+		back := r.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*entry)
+		r.unlinkLocked(e)
+		r.evictions++
+		if e.refs == 0 && e.plan != nil {
+			toClose = append(toClose, e.plan)
+			delete(r.byPlan, e.plan)
+		}
+	}
+	return toClose
+}
+
+// unlinkLocked removes e from the key map and LRU list and marks it
+// evicted. Idempotent.
+func (r *Registry) unlinkLocked(e *entry) {
+	if e.evicted {
+		return
+	}
+	e.evicted = true
+	if cur, ok := r.entries[e.key]; ok && cur == e {
+		delete(r.entries, e.key)
+	}
+	if e.elem != nil {
+		r.lru.Remove(e.elem)
+		e.elem = nil
+	}
+}
+
+// Stats returns a snapshot of the registry counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	live := 0
+	for _, e := range r.entries {
+		if e.refs > 0 {
+			live++
+		}
+	}
+	return Stats{
+		Capacity:      r.capacity,
+		Entries:       len(r.entries),
+		Live:          live,
+		Hits:          r.hits,
+		Misses:        r.misses,
+		Coalesced:     r.coalesced,
+		Builds:        r.builds,
+		BuildFailures: r.buildFailures,
+		Evictions:     r.evictions,
+		BuildTime:     r.buildTime,
+	}
+}
+
+// Len returns the number of cached entries (ready or building).
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Close evicts every entry and rejects future Acquires. Plans with no
+// outstanding references are closed before Close returns; plans still
+// held by callers (including in-flight builds) stay usable and are
+// closed by their final Release. Idempotent.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	var toClose []*core.Plan
+	for _, e := range r.entries {
+		// Range over a copy-safe view: unlinkLocked deletes from the
+		// map, which is permitted for the entry being visited.
+		r.unlinkLocked(e)
+		r.evictions++
+		if e.refs == 0 && e.plan != nil {
+			toClose = append(toClose, e.plan)
+			delete(r.byPlan, e.plan)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range toClose {
+		p.Close()
+	}
+}

@@ -1,0 +1,387 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fbmpk/internal/core"
+	"fbmpk/internal/sparse"
+)
+
+// testFixture is one matrix plus its expected MPK result under the
+// fixed test options — same options build bitwise-identical plans, so
+// any mismatch during churn means a caller observed a torn or closed
+// plan.
+type testFixture struct {
+	a    *sparse.CSR
+	x    []float64
+	want []float64
+}
+
+const (
+	churnN     = 64
+	churnPower = 2
+)
+
+func churnOptions() core.Options { return core.DefaultOptions(0) }
+
+func makeFixtures(t testing.TB, count int) []testFixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	fx := make([]testFixture, count)
+	for i := range fx {
+		a := testCSR(rng, churnN, 4)
+		x := make([]float64, churnN)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		p, err := core.NewPlan(a, churnOptions())
+		if err != nil {
+			t.Fatalf("fixture plan: %v", err)
+		}
+		want, err := p.MPK(x, churnPower)
+		if err != nil {
+			t.Fatalf("fixture MPK: %v", err)
+		}
+		p.Close()
+		fx[i] = testFixture{a: a, x: x, want: want}
+	}
+	return fx
+}
+
+// checkExact verifies a churn result bitwise against the fixture.
+func (f *testFixture) checkExact(t *testing.T, y []float64) {
+	t.Helper()
+	for i := range y {
+		if y[i] != f.want[i] {
+			t.Errorf("result diverges at [%d]: got %g want %g", i, y[i], f.want[i])
+			return
+		}
+	}
+}
+
+// TestRegistryHitSkipsBuild is the core caching contract: a second
+// Acquire of the same key returns the same plan object without
+// rebuilding, and the counters say so.
+func TestRegistryHitSkipsBuild(t *testing.T) {
+	fx := makeFixtures(t, 1)[0]
+	reg := New(4)
+	defer reg.Close()
+
+	p1, err := reg.Acquire(fx.a, churnOptions())
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	p2, err := reg.Acquire(fx.a, churnOptions())
+	if err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if p1 != p2 {
+		t.Error("hit returned a different plan object (preprocessing re-ran)")
+	}
+	s := reg.Stats()
+	if s.Builds != 1 || s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("counters: builds=%d misses=%d hits=%d, want 1/1/1", s.Builds, s.Misses, s.Hits)
+	}
+	if s.Live != 1 || s.Entries != 1 {
+		t.Errorf("occupancy: live=%d entries=%d, want 1/1", s.Live, s.Entries)
+	}
+	if hr := s.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate %.2f, want 0.50", hr)
+	}
+	if err := reg.Release(p1); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := reg.Release(p2); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := reg.Release(p2); !errors.Is(err, ErrNotAcquired) {
+		t.Errorf("over-Release: got %v, want ErrNotAcquired", err)
+	}
+	if s := reg.Stats(); s.Live != 0 || s.Entries != 1 {
+		t.Errorf("after release: live=%d entries=%d, want 0/1 (plan stays cached)", s.Live, s.Entries)
+	}
+}
+
+// TestRegistrySingleflight launches 12 goroutines acquiring 6 distinct
+// matrices (two per key, all released from one starting gun) against
+// an ample-capacity registry and asserts the build counter equals the
+// number of distinct keys: concurrent misses on one key coalesce onto
+// exactly one preprocessing run. Run with -race.
+func TestRegistrySingleflight(t *testing.T) {
+	const distinct = 6
+	fx := makeFixtures(t, distinct)
+	reg := New(0) // unbounded: no eviction can re-trigger a build
+	defer reg.Close()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 2*distinct; g++ {
+		f := &fx[g%distinct]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			p, err := reg.Acquire(f.a, churnOptions())
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			y, err := p.MPK(f.x, churnPower)
+			if err != nil {
+				t.Errorf("MPK on acquired plan: %v", err)
+			} else {
+				f.checkExact(t, y)
+			}
+			if err := reg.Release(p); err != nil {
+				t.Errorf("Release: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	s := reg.Stats()
+	if s.Builds != distinct {
+		t.Errorf("builds=%d, want %d (one per distinct key)", s.Builds, distinct)
+	}
+	if got := s.Hits + s.Misses + s.Coalesced; got != 2*distinct {
+		t.Errorf("lookups=%d, want %d", got, 2*distinct)
+	}
+	if s.Live != 0 {
+		t.Errorf("live=%d after all releases, want 0", s.Live)
+	}
+}
+
+// TestRegistryChurn thrashes a 3-entry LRU with 12 worker goroutines
+// cycling through 6 distinct matrices while an evictor goroutine
+// forces constant capacity pressure. Every result is checked bitwise
+// against a precomputed fixture — a use-after-Close would surface as
+// ErrClosed or a wrong result — and afterwards refcounts must have
+// drained to zero with occupancy within capacity. Run with -race.
+func TestRegistryChurn(t *testing.T) {
+	const (
+		distinct = 6
+		workers  = 12
+		iters    = 15
+		capacity = 3
+	)
+	fx := makeFixtures(t, distinct)
+	reg := New(capacity)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for it := 0; it < iters; it++ {
+				f := &fx[(g+it)%distinct]
+				p, err := reg.Acquire(f.a, churnOptions())
+				if err != nil {
+					t.Errorf("worker %d: Acquire: %v", g, err)
+					return
+				}
+				y, err := p.MPK(f.x, churnPower)
+				if err != nil {
+					// Any error here means an evicted-but-referenced
+					// plan was closed early: the use-after-Close bug.
+					t.Errorf("worker %d: MPK on held plan: %v", g, err)
+				} else {
+					f.checkExact(t, y)
+				}
+				if err := reg.Release(p); err != nil {
+					t.Errorf("worker %d: Release: %v", g, err)
+				}
+			}
+		}()
+	}
+	// The evictor walks the matrices in a different stride, acquiring
+	// and instantly releasing, keeping the 3-entry LRU permanently
+	// over-subscribed with 6 keys.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for it := 0; it < workers*iters/2; it++ {
+			f := &fx[(5*it)%distinct]
+			p, err := reg.Acquire(f.a, churnOptions())
+			if err != nil {
+				t.Errorf("evictor: Acquire: %v", err)
+				return
+			}
+			if err := reg.Release(p); err != nil {
+				t.Errorf("evictor: Release: %v", err)
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+
+	s := reg.Stats()
+	if s.Live != 0 {
+		t.Errorf("live=%d after drain, want 0", s.Live)
+	}
+	if s.Entries > capacity {
+		t.Errorf("entries=%d exceeds capacity %d", s.Entries, capacity)
+	}
+	if s.Evictions == 0 {
+		t.Error("evictor produced no evictions; churn did not exercise capacity pressure")
+	}
+	if s.BuildFailures != 0 {
+		t.Errorf("build failures: %d", s.BuildFailures)
+	}
+	reg.Close()
+	if s := reg.Stats(); s.Entries != 0 {
+		t.Errorf("entries=%d after Close, want 0", s.Entries)
+	}
+}
+
+// TestRegistryLRUOrder pins the eviction policy: least-recently-used
+// goes first, and a re-acquire refreshes recency.
+func TestRegistryLRUOrder(t *testing.T) {
+	fx := makeFixtures(t, 3)
+	reg := New(2)
+	defer reg.Close()
+	acquire := func(i int) *core.Plan {
+		t.Helper()
+		p, err := reg.Acquire(fx[i].a, churnOptions())
+		if err != nil {
+			t.Fatalf("Acquire %d: %v", i, err)
+		}
+		return p
+	}
+	release := func(p *core.Plan) {
+		t.Helper()
+		if err := reg.Release(p); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+
+	release(acquire(0)) // entries: [0]
+	release(acquire(1)) // entries: [1 0]
+	release(acquire(2)) // evicts 0 -> [2 1]
+	if s := reg.Stats(); s.Evictions != 1 || s.Builds != 3 {
+		t.Fatalf("after third insert: evictions=%d builds=%d, want 1/3", s.Evictions, s.Builds)
+	}
+	release(acquire(1)) // hit, refreshes 1 -> [1 2]
+	release(acquire(0)) // miss again, evicts 2 -> [0 1]
+	s := reg.Stats()
+	if s.Builds != 4 {
+		t.Errorf("builds=%d, want 4 (matrix 0 was evicted and rebuilt)", s.Builds)
+	}
+	if s.Hits != 1 {
+		t.Errorf("hits=%d, want 1", s.Hits)
+	}
+	release(acquire(1)) // still cached
+	if s := reg.Stats(); s.Hits != 2 {
+		t.Errorf("hits=%d, want 2 (matrix 1 survived as recently used)", s.Hits)
+	}
+}
+
+// TestRegistryDeferredTeardown evicts a plan that is still referenced
+// and verifies it keeps working until the last Release, which closes
+// it.
+func TestRegistryDeferredTeardown(t *testing.T) {
+	fx := makeFixtures(t, 2)
+	reg := New(1)
+	defer reg.Close()
+
+	held, err := reg.Acquire(fx[0].a, churnOptions())
+	if err != nil {
+		t.Fatalf("Acquire held: %v", err)
+	}
+	// Inserting the second key evicts the first while it is held.
+	other, err := reg.Acquire(fx[1].a, churnOptions())
+	if err != nil {
+		t.Fatalf("Acquire other: %v", err)
+	}
+	if s := reg.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", s.Evictions)
+	}
+	if held.Closed() {
+		t.Fatal("evicted-but-referenced plan was closed early")
+	}
+	y, err := held.MPK(fx[0].x, churnPower)
+	if err != nil {
+		t.Fatalf("MPK on evicted-but-referenced plan: %v", err)
+	}
+	fx[0].checkExact(t, y)
+
+	if err := reg.Release(held); err != nil {
+		t.Fatalf("Release held: %v", err)
+	}
+	if !held.Closed() {
+		t.Error("last Release of an evicted plan did not close it")
+	}
+	if _, err := held.MPK(fx[0].x, churnPower); !errors.Is(err, core.ErrClosed) {
+		t.Errorf("MPK after teardown: got %v, want ErrClosed", err)
+	}
+	if err := reg.Release(other); err != nil {
+		t.Fatalf("Release other: %v", err)
+	}
+}
+
+// TestRegistryClose covers shutdown semantics: Acquire after Close is
+// rejected, held plans survive until released, Close is idempotent.
+func TestRegistryClose(t *testing.T) {
+	fx := makeFixtures(t, 2)
+	reg := New(4)
+
+	held, err := reg.Acquire(fx[0].a, churnOptions())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	release1, err := reg.Acquire(fx[1].a, churnOptions())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := reg.Release(release1); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+
+	reg.Close()
+	reg.Close() // idempotent
+
+	if _, err := reg.Acquire(fx[0].a, churnOptions()); !errors.Is(err, ErrRegistryClosed) {
+		t.Errorf("Acquire after Close: got %v, want ErrRegistryClosed", err)
+	}
+	if release1.Closed() != true {
+		t.Error("unreferenced plan not closed by registry Close")
+	}
+	if held.Closed() {
+		t.Fatal("held plan closed by registry Close")
+	}
+	y, err := held.MPK(fx[0].x, churnPower)
+	if err != nil {
+		t.Fatalf("MPK on held plan after registry Close: %v", err)
+	}
+	fx[0].checkExact(t, y)
+	if err := reg.Release(held); err != nil {
+		t.Fatalf("final Release: %v", err)
+	}
+	if !held.Closed() {
+		t.Error("final Release after registry Close did not close the plan")
+	}
+}
+
+// TestRegistryRejectsBadMatrix checks input validation happens before
+// hashing.
+func TestRegistryRejectsBadMatrix(t *testing.T) {
+	reg := New(2)
+	defer reg.Close()
+	if _, err := reg.Acquire(nil); !errors.Is(err, core.ErrInvalidMatrix) {
+		t.Errorf("nil matrix: got %v, want ErrInvalidMatrix", err)
+	}
+	bad := &sparse.CSR{Rows: 2, Cols: 2, RowPtr: []int64{0, 1}, ColIdx: []int32{0}, Val: []float64{1}}
+	if _, err := reg.Acquire(bad); !errors.Is(err, core.ErrInvalidMatrix) {
+		t.Errorf("short RowPtr: got %v, want ErrInvalidMatrix", err)
+	}
+	if s := reg.Stats(); s.Lookups() != 0 {
+		t.Errorf("rejected inputs counted as lookups: %+v", s)
+	}
+}

@@ -2,6 +2,7 @@ package reorder
 
 import (
 	"fmt"
+	"time"
 
 	"fbmpk/internal/graph"
 	"fbmpk/internal/sparse"
@@ -15,6 +16,12 @@ type ABMCOptions struct {
 	NumBlocks int
 	// ColorOrder selects the greedy coloring visit order.
 	ColorOrder graph.ColorOrder
+	// Pool, when non-nil, parallelizes the O(nnz) preprocessing passes
+	// (block-graph discovery and, in ABMCReorder, the symmetric
+	// permutation apply). The greedy coloring itself stays serial: its
+	// result depends on visit order, and a deterministic ordering is
+	// what makes cached and fresh plans bitwise identical.
+	Pool sparse.Runner
 }
 
 // DefaultNumBlocks is the paper's default block count.
@@ -31,6 +38,12 @@ type ABMCResult struct {
 	BlockPtr  []int32 // len = NumBlocks+1
 	ColorPtr  []int32 // len = NumColors+1, indexes into blocks
 	NumColors int
+
+	// GraphTime and ColorTime break down the ordering construction:
+	// block-graph discovery (parallelizable) vs greedy coloring
+	// (serial by design). Informational; not part of the ordering.
+	GraphTime time.Duration
+	ColorTime time.Duration
 }
 
 // NumBlocks returns the number of row blocks in the ordering.
@@ -71,12 +84,19 @@ func ABMC(a *sparse.CSR, opt ABMCOptions) (*ABMCResult, error) {
 		blockPtr[b] = int32(int64(b) * int64(n) / int64(nb))
 	}
 
-	// 2. Color the block quotient graph.
-	bg, err := graph.BlockGraph(a, blockPtr)
+	// 2. Color the block quotient graph. Graph discovery streams the
+	// whole matrix and parallelizes; the greedy coloring is serial for
+	// determinism (see ABMCOptions.Pool) and touches only the tiny
+	// block graph.
+	graphStart := time.Now()
+	bg, err := graph.BlockGraphPool(a, blockPtr, opt.Pool)
 	if err != nil {
 		return nil, err
 	}
+	graphTime := time.Since(graphStart)
+	colorStart := time.Now()
 	color, numColors := graph.GreedyColor(bg, opt.ColorOrder)
+	colorTime := time.Since(colorStart)
 
 	// 3. Stable counting sort of blocks by color.
 	colorPtr := make([]int32, numColors+1)
@@ -113,6 +133,8 @@ func ABMC(a *sparse.CSR, opt ABMCOptions) (*ABMCResult, error) {
 		BlockPtr:  newBlockPtr,
 		ColorPtr:  colorPtr,
 		NumColors: numColors,
+		GraphTime: graphTime,
+		ColorTime: colorTime,
 	}, nil
 }
 
@@ -124,7 +146,7 @@ func ABMCReorder(a *sparse.CSR, opt ABMCOptions) (*ABMCResult, *sparse.CSR, erro
 	if err != nil {
 		return nil, nil, err
 	}
-	b, err := res.Perm.ApplySym(a)
+	b, err := res.Perm.ApplySymPool(a, opt.Pool)
 	if err != nil {
 		return nil, nil, err
 	}

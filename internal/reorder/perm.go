@@ -87,6 +87,16 @@ func (p Perm) UnapplyVec(y, x []float64) {
 // B[i][j] = A[p[i]][p[j]]. Row columns are re-sorted to keep the CSR
 // invariant.
 func (p Perm) ApplySym(a *sparse.CSR) (*sparse.CSR, error) {
+	return p.ApplySymPool(a, nil)
+}
+
+// ApplySymPool is ApplySym with the O(nnz) gather/sort pass
+// row-parallelized over r (nil = serial). Every output row is an
+// independent gather of one input row into a pre-computed disjoint
+// range, so the permuted matrix is bitwise identical to the serial
+// apply for any worker count; only the O(n) row-pointer prefix sum
+// stays serial.
+func (p Perm) ApplySymPool(a *sparse.CSR, r sparse.Runner) (*sparse.CSR, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("reorder: ApplySym: %w", sparse.ErrNotSquare)
 	}
@@ -109,29 +119,31 @@ func (p Perm) ApplySym(a *sparse.CSR) (*sparse.CSR, error) {
 		c int32
 		v float64
 	}
-	var buf []ent
-	for i := 0; i < n; i++ {
-		cols, vals := a.Row(int(p[i]))
-		buf = buf[:0]
-		for k, c := range cols {
-			buf = append(buf, ent{inv[c], vals[k]})
-		}
-		// Insertion sort: rows are short and nearly sorted for
-		// locality-preserving permutations.
-		for x := 1; x < len(buf); x++ {
-			e := buf[x]
-			y := x - 1
-			for y >= 0 && buf[y].c > e.c {
-				buf[y+1] = buf[y]
-				y--
+	sparse.ForRanges(r, 0, n, func(_, start, end int) {
+		var buf []ent
+		for i := start; i < end; i++ {
+			cols, vals := a.Row(int(p[i]))
+			buf = buf[:0]
+			for k, c := range cols {
+				buf = append(buf, ent{inv[c], vals[k]})
 			}
-			buf[y+1] = e
+			// Insertion sort: rows are short and nearly sorted for
+			// locality-preserving permutations.
+			for x := 1; x < len(buf); x++ {
+				e := buf[x]
+				y := x - 1
+				for y >= 0 && buf[y].c > e.c {
+					buf[y+1] = buf[y]
+					y--
+				}
+				buf[y+1] = e
+			}
+			base := b.RowPtr[i]
+			for k, e := range buf {
+				b.ColIdx[base+int64(k)] = e.c
+				b.Val[base+int64(k)] = e.v
+			}
 		}
-		base := b.RowPtr[i]
-		for k, e := range buf {
-			b.ColIdx[base+int64(k)] = e.c
-			b.Val[base+int64(k)] = e.v
-		}
-	}
+	})
 	return b, nil
 }

@@ -22,48 +22,83 @@ type Triangular struct {
 // on the diagonal become zeros in D; off-diagonal entries keep their
 // positions. The input is not modified.
 func Split(a *CSR) (*Triangular, error) {
+	return SplitPool(a, nil)
+}
+
+// SplitPool is Split with the O(nnz) passes row-parallelized over r
+// (nil = serial). The decomposition is two passes — per-row L/U entry
+// counts, then a fill into pre-sized arrays — with only the O(n)
+// prefix sum between them serial, so the result is bitwise identical
+// to the serial split for any worker count.
+func SplitPool(a *CSR, r Runner) (*Triangular, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("sparse: Split: %w (%dx%d)", ErrNotSquare, a.Rows, a.Cols)
 	}
 	n := a.Rows
-	var nL, nU int64
-	for i := 0; i < n; i++ {
-		cols, _ := a.Row(i)
-		for _, c := range cols {
-			switch {
-			case int(c) < i:
-				nL++
-			case int(c) > i:
-				nU++
+	// Pass 1: count strictly-lower entries per row. The strict-upper
+	// count follows from the row width and whether a diagonal entry is
+	// stored, so one counter per row suffices.
+	nLRow := make([]int32, n)
+	hasDiag := make([]bool, n)
+	ForRanges(r, 0, n, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			cols, _ := a.Row(i)
+			nl := int32(0)
+			for _, c := range cols {
+				if int(c) < i {
+					nl++
+				} else {
+					if int(c) == i {
+						hasDiag[i] = true
+					}
+					break
+				}
 			}
+			nLRow[i] = nl
 		}
-	}
+	})
 	t := &Triangular{
 		N: n,
-		L: &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1), ColIdx: make([]int32, nL), Val: make([]float64, nL)},
-		U: &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1), ColIdx: make([]int32, nU), Val: make([]float64, nU)},
+		L: &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1)},
+		U: &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1)},
 		D: make([]float64, n),
 	}
-	var wl, wu int64
 	for i := 0; i < n; i++ {
-		cols, vals := a.Row(i)
-		for k, c := range cols {
-			switch {
-			case int(c) < i:
-				t.L.ColIdx[wl] = c
-				t.L.Val[wl] = vals[k]
-				wl++
-			case int(c) > i:
-				t.U.ColIdx[wu] = c
-				t.U.Val[wu] = vals[k]
-				wu++
-			default:
-				t.D[i] = vals[k]
+		nl := int64(nLRow[i])
+		nu := int64(a.RowNNZ(i)) - nl
+		if hasDiag[i] {
+			nu--
+		}
+		t.L.RowPtr[i+1] = t.L.RowPtr[i] + nl
+		t.U.RowPtr[i+1] = t.U.RowPtr[i] + nu
+	}
+	nL, nU := t.L.RowPtr[n], t.U.RowPtr[n]
+	t.L.ColIdx = make([]int32, nL)
+	t.L.Val = make([]float64, nL)
+	t.U.ColIdx = make([]int32, nU)
+	t.U.Val = make([]float64, nU)
+	// Pass 2: fill. Each row writes its own pre-computed L/U ranges,
+	// so ranges are disjoint across workers.
+	ForRanges(r, 0, n, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			cols, vals := a.Row(i)
+			wl, wu := t.L.RowPtr[i], t.U.RowPtr[i]
+			for k, c := range cols {
+				switch {
+				case int(c) < i:
+					t.L.ColIdx[wl] = c
+					t.L.Val[wl] = vals[k]
+					wl++
+				case int(c) > i:
+					t.U.ColIdx[wu] = c
+					t.U.Val[wu] = vals[k]
+					wu++
+				default:
+					t.D[i] = vals[k]
+				}
 			}
 		}
-		t.L.RowPtr[i+1] = wl
-		t.U.RowPtr[i+1] = wu
-	}
+	})
 	return t, nil
 }
 
