@@ -14,6 +14,10 @@ go test ./...
 go test -race ./internal/parallel/ -count 1
 go test -race ./internal/core/ -run 'Parallel|Multi' -count 1
 go test -race -run Differential -count 1 .
+# Forced-backend differential sweep (SELL-C-sigma, BSR, auto) across
+# serial/parallel/FB/multi-RHS engines under -race: every backend must
+# agree with split-CSR bitwise-modulo-summation-order (<= 1e-12).
+go test -race -run 'TestBackendDifferential' -count 1 .
 # Concurrent-serving contract: shared plan under >= 8 goroutines,
 # cancellation, graceful close, metrics accounting (bounded iterations).
 go test -race -run 'TestConcurrent|TestPlan(Cancellation|Close|Metrics)' -count 1 .
@@ -47,6 +51,13 @@ go build -o /tmp/fbmpk_ci_bench ./cmd/fbmpkbench
 /tmp/fbmpk_ci_bench -exp serving-cache -matrices cant,pwtk -scale 0.004 -runs 2 -k 4 \
   -json /tmp/fbmpk_ci_cache.json > /dev/null
 /tmp/fbmpk_ci_bench -check /tmp/fbmpk_ci_cache.json
+# Autotuner audit: run the backend autotuner on two structurally
+# different matrices and assert (via -check) that the tuner never
+# selects a backend its own micro-benchmark measured slower than CSR,
+# and that both recorded plans read A ~once per SpMV.
+/tmp/fbmpk_ci_bench -exp autotune -matrices cant,G3_circuit -scale 0.01 -runs 3 \
+  -json /tmp/fbmpk_ci_tune.json > /dev/null
+/tmp/fbmpk_ci_bench -check /tmp/fbmpk_ci_tune.json
 
 go build -o /tmp/fbmpk_ci_solve ./cmd/solve
 rm -f /tmp/fbmpk_ci_solve.log
@@ -74,6 +85,7 @@ go test -run '^$' -fuzz '^FuzzDifferentialMPK$'   -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzDifferentialSSpMV$' -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzDifferentialMulti$' -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzDifferentialSymGS$' -fuzztime "$FUZZTIME" .
+go test -run '^$' -fuzz '^FuzzDifferentialBackend$' -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzAPIBoundary$'       -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzFBMPKEquivalence$'  -fuzztime "$FUZZTIME" ./internal/core
 go test -run '^$' -fuzz '^FuzzRead$'              -fuzztime "$FUZZTIME" ./internal/mmio

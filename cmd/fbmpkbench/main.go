@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"fbmpk/internal/bench"
+	"fbmpk/internal/core"
 	"fbmpk/internal/expo"
 )
 
@@ -145,9 +146,12 @@ func checkReport(path string) error {
 		if m.SpMVs == 0 {
 			return fmt.Errorf("%s: plan %q recorded no SpMVs", path, label)
 		}
-		if strings.HasPrefix(label, "baseline:") {
+		if strings.HasPrefix(label, "baseline:") || strings.HasPrefix(label, "autotune:") {
+			// Standard-engine plans (the FB baselines and both sides of
+			// the autotune comparison) read A exactly once per SpMV
+			// whatever storage format executes it.
 			if m.ReadsPerSpMV < 0.999 {
-				return fmt.Errorf("%s: baseline plan %q reads A %.3f times per SpMV, expected ~1",
+				return fmt.Errorf("%s: standard plan %q reads A %.3f times per SpMV, expected ~1",
 					path, label, m.ReadsPerSpMV)
 			}
 			continue
@@ -158,8 +162,38 @@ func checkReport(path string) error {
 				path, label, m.ReadsPerSpMV)
 		}
 	}
-	if fb == 0 {
+	if fb == 0 && len(rep.Tunings) == 0 {
 		return fmt.Errorf("%s: report contains no FB-engine plan snapshots (run with -json and an experiment that records plans, e.g. fig7)", path)
+	}
+	// Tuning records (autotune experiment): the tuner must never select
+	// a backend its own measurement saw losing to CSR — a non-CSR
+	// winner's sampled time must be strictly below the CSR baseline's.
+	for _, tr := range rep.Tunings {
+		var winner, csr *core.TuneCandidate
+		for i := range tr.Decision.Candidates {
+			c := &tr.Decision.Candidates[i]
+			if c.Winner {
+				winner = c
+			}
+			if c.Backend == core.BackendCSR {
+				csr = c
+			}
+		}
+		if winner == nil || csr == nil {
+			return fmt.Errorf("%s: tuning %q lacks a winner or CSR baseline candidate", path, tr.Matrix)
+		}
+		if csr.SampleNs <= 0 {
+			return fmt.Errorf("%s: tuning %q never measured the CSR baseline", path, tr.Matrix)
+		}
+		if winner.Backend != core.BackendCSR {
+			if winner.Pruned || winner.SampleNs <= 0 {
+				return fmt.Errorf("%s: tuning %q selected %v without measuring it", path, tr.Matrix, winner.Backend)
+			}
+			if winner.SampleNs >= csr.SampleNs {
+				return fmt.Errorf("%s: tuning %q selected %v measured at %dns, slower than CSR's %dns",
+					path, tr.Matrix, winner.Backend, winner.SampleNs, csr.SampleNs)
+			}
+		}
 	}
 	// Registry snapshots (serving-cache): the cache must have been
 	// exercised and must show reuse — a hit rate of zero means every

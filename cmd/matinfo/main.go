@@ -32,16 +32,17 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		export  = flag.String("export", "", "write the matrix to this .mtx path")
 		details = flag.Bool("details", true, "print split/ordering details for single matrices")
+		tune    = flag.Bool("tune", true, "print the backend autotuner verdict for single matrices")
 	)
 	flag.Parse()
 
-	if err := run(*file, *matrix, *scale, *seed, *export, *details); err != nil {
+	if err := run(*file, *matrix, *scale, *seed, *export, *details, *tune); err != nil {
 		fmt.Fprintln(os.Stderr, "matinfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, matrix string, scale float64, seed uint64, export string, details bool) error {
+func run(file, matrix string, scale float64, seed uint64, export string, details, tune bool) error {
 	if file == "" && matrix == "" {
 		// Whole-suite Table II.
 		return bench.Table2(os.Stdout, bench.Config{Scale: scale, Seed: seed, Runs: 1})
@@ -94,6 +95,10 @@ func run(file, matrix string, scale float64, seed uint64, export string, details
 		fmt.Printf("  L levels     %d\n", ls.NumLevels())
 	}
 
+	if tune {
+		printTuneVerdict(a)
+	}
+
 	if export != "" {
 		if err := fbmpk.SaveMatrixMarket(export, a); err != nil {
 			return err
@@ -101,6 +106,50 @@ func run(file, matrix string, scale float64, seed uint64, export string, details
 		fmt.Printf("exported to %s\n", export)
 	}
 	return nil
+}
+
+// printTuneVerdict runs the backend autotuner on the matrix and prints
+// its candidate table: modeled traffic per nonzero, the sampled
+// bandwidth of every measured candidate, and the winner the registry
+// would cache for this structure.
+func printTuneVerdict(a *fbmpk.Matrix) {
+	dec, err := fbmpk.Autotune(a)
+	if err != nil {
+		fmt.Printf("  autotune     error: %v\n", err)
+		return
+	}
+	fmt.Printf("  autotune     winner %s (%d samples over %d rows)\n",
+		describeCandidate(fbmpk.TuneCandidate{
+			Backend: dec.Backend, Chunk: dec.Chunk, Sigma: dec.Sigma, Block: dec.Block,
+		}), dec.Samples, dec.SampleRows)
+	fmt.Printf("    %-14s %14s %12s %8s\n", "candidate", "model B/nnz", "sample GB/s", "verdict")
+	for _, c := range dec.Candidates {
+		verdict := "lost"
+		switch {
+		case c.Winner:
+			verdict = "winner"
+		case c.Pruned:
+			verdict = "pruned"
+		}
+		gbps := "-"
+		if c.SampleNs > 0 {
+			gbps = fmt.Sprintf("%.2f", c.GBps)
+		}
+		fmt.Printf("    %-14s %14.2f %12s %8s\n", describeCandidate(c), c.ModelBytesPerNNZ, gbps, verdict)
+	}
+}
+
+// describeCandidate names a tuner candidate with its format
+// parameters, e.g. "sell C8/s256" or "bsr 3x3".
+func describeCandidate(c fbmpk.TuneCandidate) string {
+	switch {
+	case c.Chunk > 0:
+		return fmt.Sprintf("%v C%d/s%d", c.Backend, c.Chunk, c.Sigma)
+	case c.Block > 0:
+		return fmt.Sprintf("%v %dx%d", c.Backend, c.Block, c.Block)
+	default:
+		return c.Backend.String()
+	}
 }
 
 // printSchedule summarizes the parallel schedule the ABMC ordering

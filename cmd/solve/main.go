@@ -8,6 +8,7 @@
 //	solve -matrix G3_circuit -method chebyshev -degree 8
 //	solve -matrix ldoor -method power
 //	solve -file m.mtx -method cg
+//	solve -matrix audikw_1 -backend auto         # autotuned execution backend
 //	solve -matrix cant -trace solve.trace.json   # Chrome/Perfetto execution trace
 //	solve -matrix cant -http :6060 -linger 30s   # /metrics, /trace, /debug/pprof
 package main
@@ -37,6 +38,7 @@ func main() {
 		maxIter = flag.Int("maxiter", 2000, "iteration budget")
 		degree  = flag.Int("degree", 8, "chebyshev polynomial degree / krylov s")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
+		backend = flag.String("backend", "csr", "execution backend: csr | auto | sell | bsr")
 		cache   = flag.Bool("cache", false, "acquire the plan through a fingerprint-keyed plan registry (prints the cache key and counters; -http then also exposes fbmpk_cache_* metrics)")
 		metrics = flag.Bool("metrics", false, "print the plan's PlanMetrics snapshot (expvar JSON) after solving")
 		trace   = flag.String("trace", "", "record an execution trace of the solve and write Chrome trace-event JSON to this file")
@@ -44,17 +46,19 @@ func main() {
 		linger  = flag.Duration("linger", 0, "keep the -http debug server up this long after solving (0 with -http = until interrupted)")
 	)
 	flag.Parse()
-	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *cache, *metrics, *trace, *addr, *linger); err != nil {
+	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *backend, *cache, *metrics, *trace, *addr, *linger); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, cache, metrics bool, traceFile, httpAddr string, linger time.Duration) error {
-	var (
-		a   *fbmpk.Matrix
-		err error
-	)
+func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, backend string, cache, metrics bool, traceFile, httpAddr string, linger time.Duration) error {
+	bk, err := fbmpk.ParseBackend(backend)
+	if err != nil {
+		return err
+	}
+	planOpts := []fbmpk.Option{fbmpk.WithThreads(threads), fbmpk.WithBackend(bk)}
+	var a *fbmpk.Matrix
 	switch {
 	case file != "":
 		a, _, err = fbmpk.LoadMatrixMarket(file)
@@ -77,9 +81,9 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 		// (or a second Acquire) would hit instead of rebuilding.
 		reg = fbmpk.NewRegistry(4)
 		defer reg.Close()
-		key := fbmpk.PlanFingerprint(a, fbmpk.WithThreads(threads))
+		key := fbmpk.PlanFingerprint(a, planOpts...)
 		fmt.Printf("plan fingerprint: %s\n", key)
-		plan, err = reg.Acquire(a, fbmpk.WithThreads(threads))
+		plan, err = reg.Acquire(a, planOpts...)
 		if err != nil {
 			return err
 		}
@@ -90,7 +94,7 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 				s.Builds, s.BuildTime, s.Hits, s.Coalesced)
 		}()
 	} else {
-		plan, err = fbmpk.NewPlan(a, fbmpk.WithThreads(threads))
+		plan, err = fbmpk.NewPlan(a, planOpts...)
 		if err != nil {
 			return err
 		}
@@ -98,6 +102,18 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 	}
 	bs := plan.Stats()
 	fmt.Printf("plan build: %v (reorder %v, split %v)\n", bs.BuildTime, bs.ReorderTime, bs.SplitTime)
+	if bs.Backend != "" {
+		line := fmt.Sprintf("plan backend: %s", bs.Backend)
+		if tune := bs.Tune; tune != nil {
+			if tune.FromCache {
+				line += " (autotuned, verdict from registry cache)"
+			} else {
+				line += fmt.Sprintf(" (autotuned in %v, %d samples over %d rows)",
+					bs.TuneTime, tune.Samples, tune.SampleRows)
+			}
+		}
+		fmt.Println(line)
+	}
 	if metrics {
 		// Dump the traffic/time counters accumulated across the whole
 		// solve: every matrix application below runs through this plan.

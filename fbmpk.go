@@ -167,6 +167,23 @@ func WithSelfCheck(on bool) Option { return core.WithSelfCheck(on) }
 // Options.MaxInFlight).
 func WithMaxInFlight(n int) Option { return core.WithMaxInFlight(n) }
 
+// WithBackend selects the storage format of the full-matrix kernels:
+// BackendAuto runs the build-time autotuner, BackendSELL/BackendBSR
+// force a format, BackendCSR (the default) keeps the bitwise-stable
+// split-CSR baseline.
+func WithBackend(k BackendKind) Option { return core.WithBackend(k) }
+
+// WithSELLChunk sets the SELL-C-sigma chunk height (0 = default 8).
+func WithSELLChunk(c int) Option { return core.WithSELLChunk(c) }
+
+// WithSELLSigma sets the SELL row-sorting window (0 = default 256;
+// 1 disables sorting).
+func WithSELLSigma(s int) Option { return core.WithSELLSigma(s) }
+
+// WithBSRBlock sets the BSR block size (0 = detect from the matrix
+// structure).
+func WithBSRBlock(r int) Option { return core.WithBSRBlock(r) }
+
 // Engine selects the MPK pipeline.
 type Engine = core.Engine
 
@@ -177,6 +194,57 @@ const (
 	// EngineForwardBackward is the paper's FBMPK pipeline.
 	EngineForwardBackward = core.EngineForwardBackward
 )
+
+// BackendKind selects the storage format of the full-matrix SpMV/SpMM
+// kernels (standard-engine sweeps and the SpMM block path; FB sweeps
+// always execute on the split CSR). See the README "Backend
+// autotuning" section.
+type BackendKind = core.BackendKind
+
+// Backend values.
+const (
+	// BackendCSR keeps the split-CSR baseline kernels (the default;
+	// bitwise-stable across plan rebuilds).
+	BackendCSR = core.BackendCSR
+	// BackendAuto picks the format per matrix with the build-time
+	// autotuner; results match CSR to <= 1e-12 relative.
+	BackendAuto = core.BackendAuto
+	// BackendSELL forces the SELL-C-sigma backend.
+	BackendSELL = core.BackendSELL
+	// BackendBSR forces the block-CSR backend.
+	BackendBSR = core.BackendBSR
+)
+
+// ParseBackend maps a backend name ("csr", "auto", "sell", "bsr") to
+// its BackendKind; intended for command-line flags.
+func ParseBackend(s string) (BackendKind, error) { return core.ParseBackend(s) }
+
+// TuneDecision is the autotuner's verdict for one matrix: the chosen
+// backend configuration plus the candidate table it was selected from.
+// Available from PlanStats.Tune on BackendAuto plans and from Autotune
+// directly.
+type TuneDecision = core.TuneDecision
+
+// TuneCandidate is one (format, configuration) the autotuner
+// considered, with its modeled bytes/nnz and sampled throughput.
+type TuneCandidate = core.TuneCandidate
+
+// Autotune runs the backend micro-benchmark selection for matrix a
+// without building a plan and returns the decision with its full
+// candidate table — the same procedure NewPlan runs for BackendAuto
+// plans. Deterministic sampling: the sampled rows and probe vector are
+// fixed functions of the matrix structure.
+func Autotune(a *Matrix) (TuneDecision, error) {
+	if err := validMatrix(a); err != nil {
+		return TuneDecision{}, err
+	}
+	return core.Autotune(a), nil
+}
+
+// PlanStats reports the one-off preprocessing cost breakdown of plan
+// construction, including the backend autotuner verdict for
+// BackendAuto plans.
+type PlanStats = core.PlanStats
 
 // NewPlan prepares an executor for the square matrix a. Construction
 // performs the one-off preprocessing (matrix split, ABMC reorder for

@@ -184,6 +184,58 @@ func FuzzDifferentialSymGS(f *testing.F) {
 	})
 }
 
+// FuzzDifferentialBackend is the forced-backend variant of
+// FuzzDifferentialMPK: the extra argument picks a non-default
+// execution backend (SELL with either canonical or odd chunk/sigma
+// spellings, BSR with and without a forced block size, or the
+// autotuner), overlays it on the derived engine case, and requires the
+// result to match the serial standard baseline.
+func FuzzDifferentialBackend(f *testing.F) {
+	f.Add(int64(5), int64(0), int64(2), int64(0))
+	f.Add(int64(21), int64(4), int64(5), int64(2))
+	f.Add(int64(33), int64(9), int64(3), int64(4))
+	f.Fuzz(func(t *testing.T, seed, cfgRaw, kRaw, beRaw int64) {
+		a, c, rng := fuzzSetup(seed, cfgRaw)
+		if kRaw < 0 {
+			kRaw = -kRaw
+		}
+		if beRaw < 0 {
+			beRaw = -beRaw
+		}
+		k := 1 + int(kRaw%8)
+		variants := []Options{
+			{Backend: BackendSELL},
+			{Backend: BackendSELL, SELLChunk: 4, SELLSigma: 50},
+			{Backend: BackendBSR},
+			{Backend: BackendBSR, BSRBlock: 2 + int(beRaw%3)},
+			{Backend: BackendAuto},
+		}
+		v := variants[int(beRaw%int64(len(variants)))]
+		c.opt.Backend = v.Backend
+		c.opt.SELLChunk = v.SELLChunk
+		c.opt.SELLSigma = v.SELLSigma
+		c.opt.BSRBlock = v.BSRBlock
+
+		x0 := diffVec(rng, a.Rows)
+		want, err := StandardMPK(a, x0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := NewPlan(a, c.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		got, err := p.MPK(x0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relMaxDiff(t, got, want); d > diffTol {
+			t.Fatalf("n=%d k=%d %s backend=%s: deviation %g", a.Rows, k, c.name, p.Backend(), d)
+		}
+	})
+}
+
 // FuzzAPIBoundary hammers the error boundary with arbitrary bytes
 // interpreted as a raw CSR and call arguments. Every call must either
 // succeed or return an error wrapping an exported sentinel; a panic

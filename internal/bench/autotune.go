@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fbmpk/internal/core"
+)
+
+// Autotune runs the OSKI-style backend autotuner on each suite matrix
+// and contrasts the autotuned plan against the forced-CSR plan at full
+// scale: the tuner's verdict (with its sampled evidence) next to the
+// measured end-to-end MPK time of both plans. With -json the verdicts
+// land in the report's Tunings records, which the -check gate audits:
+// a non-CSR winner must have sampled strictly faster than CSR.
+func Autotune(w io.Writer, cfg Config) error {
+	cfg = cfg.Normalize()
+	specs, err := cfg.suite()
+	if err != nil {
+		return err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Backend autotuner verdicts vs CSR at full scale (scale=%g, k=%d)",
+			cfg.Scale, cfg.K),
+		Header: []string{"input", "winner", "model B/nnz", "csr B/nnz", "sample GB/s", "csr GB/s", "CSR MPK", "auto MPK", "speedup"},
+	}
+	for _, s := range specs {
+		m := s.Generate(cfg.Scale, cfg.Seed)
+		x0 := detVec(m.Rows, cfg.Seed)
+
+		dec := core.Autotune(m)
+		var winner, csrCand core.TuneCandidate
+		for _, c := range dec.Candidates {
+			if c.Winner {
+				winner = c
+			}
+			if c.Backend == core.BackendCSR {
+				csrCand = c
+			}
+		}
+
+		baseOpts := []core.Option{core.WithEngine(core.EngineStandard), core.WithThreads(cfg.Threads)}
+		pcsr, err := core.NewPlan(m, baseOpts...)
+		if err != nil {
+			return err
+		}
+		// Replay the verdict instead of re-sampling: the plan executes
+		// exactly what a registry hit would.
+		pauto, err := core.NewPlan(m, append(baseOpts[:len(baseOpts):len(baseOpts)],
+			core.WithBackend(core.BackendAuto), core.WithTunedDecision(dec))...)
+		if err != nil {
+			pcsr.Close()
+			return err
+		}
+
+		tCSR := timeMPK(cfg, pcsr, x0, cfg.K)
+		tAuto := timeMPK(cfg, pauto, x0, cfg.K)
+		speedup := float64(tCSR.GeoMean) / float64(tAuto.GeoMean)
+
+		t.AddRow(s.Name, describeTuneWinner(dec),
+			f2(winner.ModelBytesPerNNZ), f2(csrCand.ModelBytesPerNNZ),
+			f2(winner.GBps), f2(csrCand.GBps),
+			tCSR.GeoMean.String(), tAuto.GeoMean.String(), f2(speedup))
+
+		cfg.RecordPlan("autotune", "autotune:csr:"+s.Name, pcsr)
+		cfg.RecordPlan("autotune", "autotune:"+dec.Backend.String()+":"+s.Name, pauto)
+		cfg.RecordTuning("autotune", s.Name, dec, tCSR.GeoMean, tAuto.GeoMean)
+		pcsr.Close()
+		pauto.Close()
+	}
+	return cfg.Emit(w, t)
+}
+
+// describeTuneWinner names the winning configuration of a decision,
+// e.g. "csr", "sell C8/s256", "bsr 3x3".
+func describeTuneWinner(d core.TuneDecision) string {
+	switch d.Backend {
+	case core.BackendSELL:
+		return fmt.Sprintf("sell C%d/s%d", d.Chunk, d.Sigma)
+	case core.BackendBSR:
+		return fmt.Sprintf("bsr %dx%d", d.Block, d.Block)
+	default:
+		return d.Backend.String()
+	}
+}

@@ -34,6 +34,7 @@ func Registry() []Experiment {
 		{"abl-parallel", "Ablation: ABMC colors vs level scheduling", AblationParallelism},
 		{"abl-wavefront", "Ablation: FBMPK vs level-based (LB-MPK-style) traffic", AblationWavefront},
 		{"abl-multirhs", "Ablation: batched multi-RHS FBMPK vs m independent runs", MultiRHS},
+		{"autotune", "Backend autotuner verdicts + autotuned vs CSR at full scale", Autotune},
 		{"serving", "Serving: concurrent callers on one shared plan + metrics", Serving},
 		{"serving-cache", "Serving: plan registry amortization + singleflight coalescing", ServingCache},
 	}
@@ -73,7 +74,10 @@ func Run(w io.Writer, cfg Config, names []string) error {
 			}
 		case "paper":
 			for _, e := range Registry() {
-				if !strings.HasPrefix(e.Name, "abl-") && !strings.HasPrefix(e.Name, "serving") {
+				// Only the paper's own tables/figures: ablations, serving,
+				// and the autotuner study are opt-in.
+				if !strings.HasPrefix(e.Name, "abl-") && !strings.HasPrefix(e.Name, "serving") &&
+					e.Name != "autotune" {
 					want[e.Name] = true
 				}
 			}

@@ -24,6 +24,7 @@ type Report struct {
 	Experiments   []ExperimentRecord `json:"experiments"`
 	Plans         []PlanRecord       `json:"plans,omitempty"`
 	Registries    []RegistryRecord   `json:"registries,omitempty"`
+	Tunings       []TuneRecord       `json:"tunings,omitempty"`
 
 	mu sync.Mutex
 }
@@ -61,6 +62,19 @@ type RegistryRecord struct {
 	Experiment string         `json:"experiment"`
 	Label      string         `json:"label"`
 	Stats      registry.Stats `json:"stats"`
+}
+
+// TuneRecord is one matrix's autotuner verdict plus the full-scale
+// measurement that contextualizes it: the geometric-mean MPK time of
+// the forced-CSR plan and of the plan executing the verdict. The CI
+// gate audits the Decision's candidate table — a non-CSR winner must
+// have sampled strictly faster than the CSR baseline.
+type TuneRecord struct {
+	Experiment string            `json:"experiment"`
+	Matrix     string            `json:"matrix"`
+	Decision   core.TuneDecision `json:"decision"`
+	CSRTime    time.Duration     `json:"csr_time_ns"`
+	AutoTime   time.Duration     `json:"auto_time_ns"`
 }
 
 // NewReport starts a report for the given config.
@@ -144,6 +158,21 @@ func (c Config) RecordPlan(experiment, label string, p *core.Plan) {
 		return
 	}
 	c.Report.addPlan(PlanRecord{Experiment: experiment, Label: label, Metrics: p.Metrics()})
+}
+
+// RecordTuning records one matrix's autotuner verdict with its
+// full-scale CSR-vs-autotuned timings; no-op when the config carries
+// no report.
+func (c Config) RecordTuning(experiment, matrix string, dec core.TuneDecision, csrTime, autoTime time.Duration) {
+	if c.Report == nil {
+		return
+	}
+	c.Report.mu.Lock()
+	defer c.Report.mu.Unlock()
+	c.Report.Tunings = append(c.Report.Tunings, TuneRecord{
+		Experiment: experiment, Matrix: matrix, Decision: dec,
+		CSRTime: csrTime, AutoTime: autoTime,
+	})
 }
 
 // RecordRegistry snapshots a plan registry's counters into the run's

@@ -30,6 +30,8 @@ var (
 	// ErrClosed reports a call on a plan whose Close has begun: the
 	// plan drains in-flight executions and fails late arrivals.
 	ErrClosed = errors.New("plan is closed")
+	// ErrBadBackend reports an unknown BackendKind in the options.
+	ErrBadBackend = errors.New("unknown execution backend")
 )
 
 // errCanceledRun is the internal signal that an execution observed its

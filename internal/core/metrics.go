@@ -60,26 +60,34 @@ const (
 	phaseBackward
 	phaseStandard // standard-engine SpMV sweeps
 	phaseSymGS
+	// Backend variants of the standard phase, appended at the end so
+	// earlier phase indices stay stable for trace consumers.
+	phaseStandardSELL // standard-engine sweeps on the SELL-C-sigma backend
+	phaseStandardBSR  // standard-engine sweeps on the BSR backend
 	numPhases
 )
 
 var phaseNames = [numPhases]string{
-	phaseHead:     "head",
-	phaseForward:  "forward",
-	phaseBackward: "backward",
-	phaseStandard: "standard",
-	phaseSymGS:    "symgs",
+	phaseHead:         "head",
+	phaseForward:      "forward",
+	phaseBackward:     "backward",
+	phaseStandard:     "standard",
+	phaseSymGS:        "symgs",
+	phaseStandardSELL: "standard_sell",
+	phaseStandardBSR:  "standard_bsr",
 }
 
 // regionNames are the static labels mirrored into runtime/trace
 // regions when a Go execution trace is active (static so StartRegion
 // never allocates a label).
 var regionNames = [numPhases]string{
-	phaseHead:     "fbmpk.head",
-	phaseForward:  "fbmpk.forward",
-	phaseBackward: "fbmpk.backward",
-	phaseStandard: "fbmpk.standard",
-	phaseSymGS:    "fbmpk.symgs",
+	phaseHead:         "fbmpk.head",
+	phaseForward:      "fbmpk.forward",
+	phaseBackward:     "fbmpk.backward",
+	phaseStandard:     "fbmpk.standard",
+	phaseSymGS:        "fbmpk.symgs",
+	phaseStandardSELL: "fbmpk.standard_sell",
+	phaseStandardBSR:  "fbmpk.standard_bsr",
 }
 
 var opRegionNames = [numOps]string{
@@ -162,6 +170,11 @@ type PlanMetrics struct {
 	// 12.5% relative bucket error) with derived p50/p90/p99.
 	Latency map[string]OpLatency `json:"latency_by_op,omitempty"`
 
+	// Backend is the storage format the plan's full-matrix kernels
+	// execute on ("csr", "sell", "bsr"); exporters attach it as the
+	// fbmpk_backend label.
+	Backend string `json:"backend,omitempty"`
+
 	// Build is the one-off construction cost breakdown of the plan
 	// (PlanStats rendered into the snapshot), so the /metrics surface
 	// can report how much preprocessing a cache hit amortizes away.
@@ -179,6 +192,7 @@ type BuildBreakdown struct {
 	Perm     time.Duration `json:"perm_ns,omitempty"`
 	Split    time.Duration `json:"split_ns,omitempty"`
 	Reorder  time.Duration `json:"reorder_ns,omitempty"`
+	Tune     time.Duration `json:"tune_ns,omitempty"`
 	Parallel bool          `json:"parallel"`
 }
 
@@ -192,6 +206,7 @@ func buildBreakdown(s PlanStats) BuildBreakdown {
 		Perm:     s.PermTime,
 		Split:    s.SplitTime,
 		Reorder:  s.ReorderTime,
+		Tune:     s.TuneTime,
 		Parallel: s.ParallelPrep,
 	}
 }

@@ -22,32 +22,33 @@ type IterateFunc func(power int, x []float64)
 // result A^k x0 is returned in a fresh slice. onIterate, when non-nil,
 // observes every iterate including the last.
 func StandardMPK(a *sparse.CSR, x0 []float64, k int, onIterate IterateFunc) ([]float64, error) {
-	return standardMPK(nil, a, x0, k, onIterate)
+	return standardMPK(nil, csrBackend{a: a}, x0, k, onIterate)
 }
 
-// standardMPK is StandardMPK with a run environment: the cancel flag
-// is checked once per power.
-func standardMPK(env *runEnv, a *sparse.CSR, x0 []float64, k int, onIterate IterateFunc) ([]float64, error) {
-	if a.Rows != a.Cols {
+// standardMPK is StandardMPK generalized over the execution backend,
+// with a run environment: the cancel flag is checked once per power.
+func standardMPK(env *runEnv, be execBackend, x0 []float64, k int, onIterate IterateFunc) ([]float64, error) {
+	if be.rows() != be.cols() {
 		return nil, fmt.Errorf("core: StandardMPK: %w", sparse.ErrNotSquare)
 	}
-	if len(x0) != a.Rows {
-		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), a.Rows, ErrDimension)
+	if len(x0) != be.rows() {
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), be.rows(), ErrDimension)
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
+	ph := be.phase()
 	x := sparse.CopyVec(x0)
-	y := make([]float64, a.Rows)
+	y := make([]float64, be.rows())
 	clock := env.serialClock()
 	for power := 1; power <= k; power++ {
 		if env.canceled() {
 			return nil, errCanceledRun
 		}
-		clock.beginSweep(phaseStandard)
-		sparse.SpMV(a, x, y)
+		clock.beginSweep(ph)
+		be.spmv(x, y)
 		x, y = y, x
-		clock.endSweepCompute(phaseStandard, int32(power))
+		clock.endSweepCompute(ph, int32(power))
 		if onIterate != nil {
 			onIterate(power, x)
 		}
@@ -60,26 +61,30 @@ func standardMPK(env *runEnv, a *sparse.CSR, x0 []float64, k int, onIterate Iter
 // barrier-synchronize between the k invocations. This mirrors the
 // paper's baseline methodology ("the same optimized SpMV kernel").
 func StandardMPKParallel(a *sparse.CSR, x0 []float64, k int, pool *parallel.Pool, onIterate IterateFunc) ([]float64, error) {
-	return standardMPKParallel(nil, a, x0, k, pool, onIterate)
+	return standardMPKParallel(nil, csrBackend{a: a}, x0, k, pool, onIterate)
 }
 
-// standardMPKParallel is StandardMPKParallel with a run environment:
-// workers poll the cancel flag after each power barrier and switch to
-// skip mode (crossing the remaining barriers without computing), the
-// same protocol as FBParallel.runCapture.
-func standardMPKParallel(env *runEnv, a *sparse.CSR, x0 []float64, k int, pool *parallel.Pool, onIterate IterateFunc) ([]float64, error) {
-	if a.Rows != a.Cols {
+// standardMPKParallel is StandardMPKParallel generalized over the
+// execution backend, with a run environment: workers poll the cancel
+// flag after each power barrier and switch to skip mode (crossing the
+// remaining barriers without computing), the same protocol as
+// FBParallel.runCapture. The backend's partition supplies worker row
+// bounds aligned to its storage granularity, so ranges write disjoint
+// y entries.
+func standardMPKParallel(env *runEnv, be execBackend, x0 []float64, k int, pool *parallel.Pool, onIterate IterateFunc) ([]float64, error) {
+	if be.rows() != be.cols() {
 		return nil, fmt.Errorf("core: StandardMPKParallel: %w", sparse.ErrNotSquare)
 	}
-	if len(x0) != a.Rows {
-		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), a.Rows, ErrDimension)
+	if len(x0) != be.rows() {
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), be.rows(), ErrDimension)
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
-	bounds := parallel.PartitionByPtr(a.Rows, pool.Workers(), a.RowPtr)
+	ph := be.phase()
+	bounds := be.partition(pool.Workers())
 	x := sparse.CopyVec(x0)
-	y := make([]float64, a.Rows)
+	y := make([]float64, be.rows())
 	bar := parallel.NewBarrier(pool.Workers())
 	pool.Run(func(id int) {
 		clock := env.workerClock(id)
@@ -87,16 +92,16 @@ func standardMPKParallel(env *runEnv, a *sparse.CSR, x0 []float64, k int, pool *
 		lo, hi := bounds[id], bounds[id+1]
 		src, dst := x, y
 		for power := 1; power <= k; power++ {
-			clock.beginSweep(phaseStandard)
+			clock.beginSweep(ph)
 			if !skip {
-				sparse.SpMVRange(a, src, dst, lo, hi)
+				be.spmvRange(src, dst, lo, hi)
 			}
 			src, dst = dst, src
 			// All writers must finish before anyone reads dst as the
 			// next source, and before the iterate callback fires.
-			clock.endCompute(phaseStandard, -1)
+			clock.endCompute(ph, -1)
 			bar.Wait()
-			clock.endWait(phaseStandard, -1)
+			clock.endWait(ph, -1)
 			if !skip && env.canceled() {
 				skip = true
 			}
@@ -104,11 +109,11 @@ func standardMPKParallel(env *runEnv, a *sparse.CSR, x0 []float64, k int, pool *
 				if id == 0 && !skip {
 					onIterate(power, src)
 				}
-				clock.endCompute(phaseStandard, -1)
+				clock.endCompute(ph, -1)
 				bar.Wait()
-				clock.endWait(phaseStandard, -1)
+				clock.endWait(ph, -1)
 			}
-			clock.endSweep(phaseStandard, int32(power))
+			clock.endSweep(ph, int32(power))
 		}
 		clock.flush()
 	})
@@ -128,13 +133,14 @@ func standardMPKParallel(env *runEnv, a *sparse.CSR, x0 []float64, k int, pool *
 // MPK traffic argument, used by subspace iteration. xs holds the nv
 // start vectors; the result is nv fresh vectors.
 func StandardMPKBatch(a *sparse.CSR, xs [][]float64, k int) ([][]float64, error) {
-	return standardMPKBatch(nil, a, xs, k)
+	return standardMPKBatch(nil, csrBackend{a: a}, xs, k)
 }
 
-// standardMPKBatch is StandardMPKBatch with a run environment
-// (cancellation checked once per power).
-func standardMPKBatch(env *runEnv, a *sparse.CSR, xs [][]float64, k int) ([][]float64, error) {
-	if a.Rows != a.Cols {
+// standardMPKBatch is StandardMPKBatch generalized over the execution
+// backend, with a run environment (cancellation checked once per
+// power).
+func standardMPKBatch(env *runEnv, be execBackend, xs [][]float64, k int) ([][]float64, error) {
+	if be.rows() != be.cols() {
 		return nil, fmt.Errorf("core: StandardMPKBatch: %w", sparse.ErrNotSquare)
 	}
 	if len(xs) == 0 {
@@ -144,10 +150,11 @@ func standardMPKBatch(env *runEnv, a *sparse.CSR, xs [][]float64, k int) ([][]fl
 		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	for c, x := range xs {
-		if len(x) != a.Rows {
-			return nil, fmt.Errorf("core: vector %d length %d != n %d: %w", c, len(x), a.Rows, ErrDimension)
+		if len(x) != be.rows() {
+			return nil, fmt.Errorf("core: vector %d length %d != n %d: %w", c, len(x), be.rows(), ErrDimension)
 		}
 	}
+	ph := be.phase()
 	nv := len(xs)
 	x := sparse.PackVectors(xs)
 	y := make([]float64, len(x))
@@ -156,27 +163,28 @@ func standardMPKBatch(env *runEnv, a *sparse.CSR, xs [][]float64, k int) ([][]fl
 		if env.canceled() {
 			return nil, errCanceledRun
 		}
-		clock.beginSweep(phaseStandard)
-		sparse.SpMM(a, x, y, nv)
+		clock.beginSweep(ph)
+		be.spmm(x, y, nv)
 		x, y = y, x
-		clock.endSweepCompute(phaseStandard, int32(power+1))
+		clock.endSweepCompute(ph, int32(power+1))
 	}
-	return sparse.UnpackVectors(x, a.Rows, nv), nil
+	return sparse.UnpackVectors(x, be.rows(), nv), nil
 }
 
 // SSpMVStandard evaluates y = sum_{i=0..k} coeffs[i] * A^i * x0 with
 // the standard engine (k = len(coeffs)-1 SpMV sweeps).
 func SSpMVStandard(a *sparse.CSR, coeffs []float64, x0 []float64) ([]float64, error) {
-	return sspmvStandard(nil, a, coeffs, x0)
+	return sspmvStandard(nil, csrBackend{a: a}, coeffs, x0)
 }
 
-// sspmvStandard is SSpMVStandard with a run environment.
-func sspmvStandard(env *runEnv, a *sparse.CSR, coeffs []float64, x0 []float64) ([]float64, error) {
+// sspmvStandard is SSpMVStandard generalized over the execution
+// backend, with a run environment.
+func sspmvStandard(env *runEnv, be execBackend, coeffs []float64, x0 []float64) ([]float64, error) {
 	if len(coeffs) == 0 {
 		return nil, fmt.Errorf("core: SSpMV needs at least one coefficient: %w", ErrBadCoeffs)
 	}
-	if len(x0) != a.Rows {
-		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), a.Rows, ErrDimension)
+	if len(x0) != be.rows() {
+		return nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), be.rows(), ErrDimension)
 	}
 	n := len(x0)
 	y := make([]float64, n)
@@ -186,7 +194,7 @@ func sspmvStandard(env *runEnv, a *sparse.CSR, coeffs []float64, x0 []float64) (
 	if len(coeffs) == 1 {
 		return y, nil
 	}
-	_, err := standardMPK(env, a, x0, len(coeffs)-1, func(power int, x []float64) {
+	_, err := standardMPK(env, be, x0, len(coeffs)-1, func(power int, x []float64) {
 		c := coeffs[power]
 		if c == 0 {
 			return

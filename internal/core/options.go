@@ -82,3 +82,38 @@ func WithSelfCheck(on bool) Option {
 func WithMaxInFlight(n int) Option {
 	return optionFunc(func(o *Options) { o.MaxInFlight = n })
 }
+
+// WithBackend selects the storage format of the full-matrix kernels
+// (see Options.Backend): BackendAuto runs the autotuner at build time,
+// BackendSELL/BackendBSR force a format, BackendCSR (the default)
+// keeps the bitwise-stable split-CSR baseline.
+func WithBackend(k BackendKind) Option {
+	return optionFunc(func(o *Options) { o.Backend = k })
+}
+
+// WithSELLChunk sets the SELL-C-sigma chunk height (0 =
+// DefaultSELLChunk).
+func WithSELLChunk(c int) Option {
+	return optionFunc(func(o *Options) { o.SELLChunk = c })
+}
+
+// WithSELLSigma sets the SELL row-sorting window (0 =
+// DefaultSELLSigma; 1 disables sorting).
+func WithSELLSigma(s int) Option {
+	return optionFunc(func(o *Options) { o.SELLSigma = s })
+}
+
+// WithBSRBlock sets the BSR block size (0 = detect from the matrix
+// structure, see DetectBSRBlock).
+func WithBSRBlock(r int) Option {
+	return optionFunc(func(o *Options) { o.BSRBlock = r })
+}
+
+// WithTunedDecision injects a cached autotuner verdict: a BackendAuto
+// plan replays the decision instead of sampling. The registry uses
+// this to serve its structure-keyed verdict cache; no-op for other
+// backends. The replayed plan reports Tune.FromCache = true and
+// Tune.Samples = 0.
+func WithTunedDecision(d TuneDecision) Option {
+	return optionFunc(func(o *Options) { o.tuned = &d })
+}

@@ -74,6 +74,27 @@ type Options struct {
 	// single SPMD region — so MaxInFlight is clamped to 1 there and the
 	// gate only provides fair queueing and close semantics.
 	MaxInFlight int
+	// Backend selects the storage format of the full-matrix SpMV/SpMM
+	// kernels (standard-engine sweeps and the SpMM block path; FB
+	// sweeps always run on the split CSR). The zero value BackendCSR
+	// keeps the bitwise-stable baseline; BackendAuto runs the
+	// autotuner at build time (see Autotune); BackendSELL/BackendBSR
+	// force a format.
+	Backend BackendKind
+	// SELLChunk is the SELL-C-sigma chunk height (0 =
+	// DefaultSELLChunk). Only meaningful for BackendSELL.
+	SELLChunk int
+	// SELLSigma is the SELL row-sorting window (0 = DefaultSELLSigma;
+	// 1 disables sorting). Only meaningful for BackendSELL.
+	SELLSigma int
+	// BSRBlock is the BSR block size (0 = detect from the structure,
+	// see DetectBSRBlock). Only meaningful for BackendBSR.
+	BSRBlock int
+	// tuned is a cached autotuner verdict injected by the registry via
+	// WithTunedDecision: a BackendAuto plan replays it instead of
+	// sampling. Excluded from fingerprints and canonicalization — it
+	// is derived state, not configuration.
+	tuned *TuneDecision
 }
 
 // DefaultOptions returns the configuration the paper evaluates as
@@ -103,6 +124,7 @@ type Plan struct {
 	opt  Options
 	n    int
 	a    *sparse.CSR         // matrix in execution order (permuted if ABMC)
+	be   execBackend         // full-matrix kernel backend over a
 	tri  *sparse.Triangular  // split of a (FB engines)
 	ord  *reorder.ABMCResult // non-nil when ABMC was applied
 	pool *parallel.Pool      // non-nil when Threads > 1
@@ -146,6 +168,16 @@ type PlanStats struct {
 	// ParallelPrep reports whether preprocessing ran on the worker
 	// pool (Threads > 1) rather than the serial path.
 	ParallelPrep bool
+	// Backend is the storage format the plan's full-matrix kernels
+	// execute on ("csr", "sell", "bsr").
+	Backend string
+	// TuneTime is the backend resolution cost: autotuner sampling (if
+	// any) plus format conversion.
+	TuneTime time.Duration
+	// Tune is the autotuner's verdict, nil unless the plan was built
+	// with BackendAuto. FromCache marks a verdict replayed from the
+	// registry; Samples counts the micro-benchmark invocations paid.
+	Tune *TuneDecision
 }
 
 // NewPlan prepares an executor for the square matrix a. The input
@@ -242,6 +274,11 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 		p.nnzL = uint64(len(p.tri.L.Val))
 		p.nnzU = uint64(len(p.tri.U.Val))
 		p.nnzD = p.nnzA - p.nnzL - p.nnzU
+	}
+	// The backend resolves after reordering so the autotuner samples
+	// (and the format conversion covers) the execution-order matrix.
+	if err := p.initBackend(opt); err != nil {
+		return fail(err)
 	}
 	if p.pool != nil {
 		if opt.Engine == EngineForwardBackward {
@@ -348,6 +385,7 @@ func (p *Plan) Stats() PlanStats { return p.stats }
 func (p *Plan) Metrics() PlanMetrics {
 	m := p.metrics.snapshot(p.nnzA)
 	m.Build = buildBreakdown(p.stats)
+	m.Backend = p.stats.Backend
 	return m
 }
 
@@ -595,9 +633,9 @@ func (p *Plan) MPKAllCtx(ctx context.Context, x0 []float64, k int) ([][]float64,
 		var err error
 		switch {
 		case p.opt.Engine == EngineStandard && p.pool != nil:
-			_, err = standardMPKParallel(env, p.a, in, k, p.pool, hook)
+			_, err = standardMPKParallel(env, p.be, in, k, p.pool, hook)
 		case p.opt.Engine == EngineStandard:
-			_, err = standardMPK(env, p.a, in, k, hook)
+			_, err = standardMPK(env, p.be, in, k, hook)
 		case p.fb != nil:
 			_, _, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
 		default:
@@ -640,7 +678,7 @@ func (p *Plan) MPKBatchCtx(ctx context.Context, xs [][]float64, k int) ([][]floa
 			}
 		}
 		var err error
-		out, err = standardMPKBatch(env, p.a, in, k)
+		out, err = standardMPKBatch(env, p.be, in, k)
 		if err != nil {
 			return work{}, err
 		}
@@ -750,7 +788,7 @@ func (p *Plan) runMulti(ws *workspace, env *runEnv, xs [][]float64, k int, coeff
 	wk = p.workPowers(k, m)
 	switch {
 	case p.opt.Engine == EngineStandard:
-		xks, err = standardMPKBatch(env, p.a, in, k)
+		xks, err = standardMPKBatch(env, p.be, in, k)
 		if err == nil && coeffs != nil {
 			// The combo needs the intermediate powers the SpMM sweep does
 			// not retain, so the standard path re-runs per vector: m extra
@@ -759,7 +797,7 @@ func (p *Plan) runMulti(ws *workspace, env *runEnv, xs [][]float64, k int, coeff
 			wk.nnz += uint64(k) * uint64(m) * p.nnzA
 			combos = make([][]float64, len(in))
 			for j, x := range in {
-				combos[j], err = sspmvStandard(env, p.a, coeffs, x)
+				combos[j], err = sspmvStandard(env, p.be, coeffs, x)
 				if err != nil {
 					break
 				}
@@ -875,9 +913,9 @@ func (p *Plan) SSpMVComplexCtx(ctx context.Context, coeffs []complex128, x0 []fl
 		var err error
 		switch {
 		case p.opt.Engine == EngineStandard && p.pool != nil:
-			_, err = standardMPKParallel(env, p.a, in, k, p.pool, hook)
+			_, err = standardMPKParallel(env, p.be, in, k, p.pool, hook)
 		case p.opt.Engine == EngineStandard:
-			_, err = standardMPK(env, p.a, in, k, hook)
+			_, err = standardMPK(env, p.be, in, k, hook)
 		case p.fb != nil:
 			_, _, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
 		default:
@@ -917,7 +955,7 @@ func (p *Plan) run(ws *workspace, env *runEnv, x0 []float64, k int, coeffs []flo
 	wk = p.workPowers(k, 1)
 	switch {
 	case p.opt.Engine == EngineStandard && p.pool != nil:
-		xk, err = standardMPKParallel(env, p.a, in, k, p.pool, nil)
+		xk, err = standardMPKParallel(env, p.be, in, k, p.pool, nil)
 		if err == nil && coeffs != nil {
 			// The parallel standard engine retains no iterates, so the
 			// combo re-runs the power sweep: double the matrix traffic.
@@ -938,7 +976,7 @@ func (p *Plan) run(ws *workspace, env *runEnv, x0 []float64, k int, coeffs []flo
 				}
 			}
 		}
-		xk, err = standardMPK(env, p.a, in, k, hook)
+		xk, err = standardMPK(env, p.be, in, k, hook)
 	case p.fb != nil:
 		xk, combo, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, coeffs, nil)
 	default:
@@ -967,7 +1005,7 @@ func (p *Plan) standardCombo(env *runEnv, in []float64, coeffs []float64) ([]flo
 	for i := range combo {
 		combo[i] = coeffs[0] * in[i]
 	}
-	_, err := standardMPKParallel(env, p.a, in, len(coeffs)-1, p.pool, func(power int, x []float64) {
+	_, err := standardMPKParallel(env, p.be, in, len(coeffs)-1, p.pool, func(power int, x []float64) {
 		if c := coeffs[power]; c != 0 {
 			sparse.AXPY(c, x, combo)
 		}

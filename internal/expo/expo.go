@@ -25,6 +25,19 @@ type PlanSnapshot struct {
 	Metrics core.PlanMetrics
 }
 
+// planLabels returns the base label set of a plan's series: the plan
+// name plus, when the plan reports its execution backend, the
+// fbmpk backend label ("csr", "sell", "bsr") on the same series.
+// Snapshots without a backend (older callers) keep the plan-only
+// label set, so existing scrapes are unchanged.
+func planLabels(s PlanSnapshot, extra ...[2]string) labels {
+	l := labels{{"plan", s.Name}}
+	if s.Metrics.Backend != "" {
+		l = append(l, [2]string{"backend", s.Metrics.Backend})
+	}
+	return append(l, extra...)
+}
+
 // WriteMetrics renders the snapshots as Prometheus text format: one
 // series per plan (label plan="...") for the scalar counters and
 // gauges, per-op call counters, per-phase wait/compute time, and one
@@ -35,46 +48,46 @@ func WriteMetrics(w io.Writer, snaps ...PlanSnapshot) error {
 	pw.family("fbmpk_calls_total", "Successful plan executions by operation.", "counter")
 	for _, s := range snaps {
 		for _, op := range sortedKeys(s.Metrics.CallsByOp) {
-			pw.sample("fbmpk_calls_total", labels{{"plan", s.Name}, {"op", op}}, float64(s.Metrics.CallsByOp[op]))
+			pw.sample("fbmpk_calls_total", planLabels(s, [2]string{"op", op}), float64(s.Metrics.CallsByOp[op]))
 		}
 	}
 
 	pw.family("fbmpk_rejected_total", "Executions rejected at the admission gate after Close.", "counter")
 	for _, s := range snaps {
-		pw.sample("fbmpk_rejected_total", labels{{"plan", s.Name}}, float64(s.Metrics.Rejected))
+		pw.sample("fbmpk_rejected_total", planLabels(s), float64(s.Metrics.Rejected))
 	}
 	pw.family("fbmpk_canceled_total", "Executions ended by context cancellation.", "counter")
 	for _, s := range snaps {
-		pw.sample("fbmpk_canceled_total", labels{{"plan", s.Name}}, float64(s.Metrics.Canceled))
+		pw.sample("fbmpk_canceled_total", planLabels(s), float64(s.Metrics.Canceled))
 	}
 	pw.family("fbmpk_in_flight", "Executions currently admitted and running.", "gauge")
 	for _, s := range snaps {
-		pw.sample("fbmpk_in_flight", labels{{"plan", s.Name}}, float64(s.Metrics.InFlight))
+		pw.sample("fbmpk_in_flight", planLabels(s), float64(s.Metrics.InFlight))
 	}
 
 	pw.family("fbmpk_sweeps_total", "Pipeline sweeps executed (forward or backward passes).", "counter")
 	for _, s := range snaps {
-		pw.sample("fbmpk_sweeps_total", labels{{"plan", s.Name}}, float64(s.Metrics.Sweeps))
+		pw.sample("fbmpk_sweeps_total", planLabels(s), float64(s.Metrics.Sweeps))
 	}
 	pw.family("fbmpk_spmvs_total", "SpMV-equivalents served (powers x vectors).", "counter")
 	for _, s := range snaps {
-		pw.sample("fbmpk_spmvs_total", labels{{"plan", s.Name}}, float64(s.Metrics.SpMVs))
+		pw.sample("fbmpk_spmvs_total", planLabels(s), float64(s.Metrics.SpMVs))
 	}
 	pw.family("fbmpk_nnz_streamed_total", "Matrix nonzeros read from memory.", "counter")
 	for _, s := range snaps {
-		pw.sample("fbmpk_nnz_streamed_total", labels{{"plan", s.Name}}, float64(s.Metrics.NnzStreamed))
+		pw.sample("fbmpk_nnz_streamed_total", planLabels(s), float64(s.Metrics.NnzStreamed))
 	}
 	pw.family("fbmpk_matrix_nnz", "Nonzeros of the plan's matrix (traffic denominator).", "gauge")
 	for _, s := range snaps {
-		pw.sample("fbmpk_matrix_nnz", labels{{"plan", s.Name}}, float64(s.Metrics.MatrixNnz))
+		pw.sample("fbmpk_matrix_nnz", planLabels(s), float64(s.Metrics.MatrixNnz))
 	}
 	pw.family("fbmpk_reads_of_a", "End-to-end reads of A served so far.", "gauge")
 	for _, s := range snaps {
-		pw.sample("fbmpk_reads_of_a", labels{{"plan", s.Name}}, s.Metrics.ReadsOfA)
+		pw.sample("fbmpk_reads_of_a", planLabels(s), s.Metrics.ReadsOfA)
 	}
 	pw.family("fbmpk_reads_of_a_per_spmv", "Reads of A per SpMV-equivalent: the paper's headline metric (~1 standard, ~(k+1)/2k FBMPK).", "gauge")
 	for _, s := range snaps {
-		pw.sample("fbmpk_reads_of_a_per_spmv", labels{{"plan", s.Name}}, s.Metrics.ReadsPerSpMV)
+		pw.sample("fbmpk_reads_of_a_per_spmv", planLabels(s), s.Metrics.ReadsPerSpMV)
 	}
 
 	pw.family("fbmpk_build_seconds", "One-off plan construction wall time by preprocessing stage.", "gauge")
@@ -90,31 +103,31 @@ func WriteMetrics(w io.Writer, snaps ...PlanSnapshot) error {
 			if st.d == 0 && st.stage != "total" {
 				continue // stage did not run for this plan shape
 			}
-			pw.sample("fbmpk_build_seconds", labels{{"plan", s.Name}, {"stage", st.stage}}, st.d.Seconds())
+			pw.sample("fbmpk_build_seconds", planLabels(s, [2]string{"stage", st.stage}), st.d.Seconds())
 		}
 	}
 
 	pw.family("fbmpk_call_seconds_total", "Wall time spent inside engine executions.", "counter")
 	for _, s := range snaps {
-		pw.sample("fbmpk_call_seconds_total", labels{{"plan", s.Name}}, s.Metrics.CallTime.Seconds())
+		pw.sample("fbmpk_call_seconds_total", planLabels(s), s.Metrics.CallTime.Seconds())
 	}
 	pw.family("fbmpk_phase_wait_seconds_total", "Per-worker barrier wait time by pipeline phase.", "counter")
 	for _, s := range snaps {
 		for _, ph := range sortedDurKeys(s.Metrics.PhaseWait) {
-			pw.sample("fbmpk_phase_wait_seconds_total", labels{{"plan", s.Name}, {"phase", ph}}, s.Metrics.PhaseWait[ph].Seconds())
+			pw.sample("fbmpk_phase_wait_seconds_total", planLabels(s, [2]string{"phase", ph}), s.Metrics.PhaseWait[ph].Seconds())
 		}
 	}
 	pw.family("fbmpk_phase_compute_seconds_total", "Per-worker compute time by pipeline phase.", "counter")
 	for _, s := range snaps {
 		for _, ph := range sortedDurKeys(s.Metrics.PhaseCompute) {
-			pw.sample("fbmpk_phase_compute_seconds_total", labels{{"plan", s.Name}, {"phase", ph}}, s.Metrics.PhaseCompute[ph].Seconds())
+			pw.sample("fbmpk_phase_compute_seconds_total", planLabels(s, [2]string{"phase", ph}), s.Metrics.PhaseCompute[ph].Seconds())
 		}
 	}
 
 	pw.family("fbmpk_op_latency_seconds", "Call duration by operation (log-linear buckets, 12.5% relative error).", "histogram")
 	for _, s := range snaps {
 		for _, op := range sortedLatKeys(s.Metrics.Latency) {
-			writeHistogram(pw, s.Name, op, s.Metrics.Latency[op])
+			writeHistogram(pw, planLabels(s), op, s.Metrics.Latency[op])
 		}
 	}
 	if pw.err != nil {
@@ -123,16 +136,19 @@ func WriteMetrics(w io.Writer, snaps ...PlanSnapshot) error {
 	return pw.bw.Flush()
 }
 
-func writeHistogram(pw *promWriter, plan, op string, lat core.OpLatency) {
+func writeHistogram(pw *promWriter, base labels, op string, lat core.OpLatency) {
+	with := func(extra ...[2]string) labels {
+		return append(append(labels(nil), base...), extra...)
+	}
 	for _, b := range lat.Buckets {
 		pw.sample("fbmpk_op_latency_seconds_bucket",
-			labels{{"plan", plan}, {"op", op}, {"le", formatFloat(b.Le.Seconds())}},
+			with([2]string{"op", op}, [2]string{"le", formatFloat(b.Le.Seconds())}),
 			float64(b.Count))
 	}
 	pw.sample("fbmpk_op_latency_seconds_bucket",
-		labels{{"plan", plan}, {"op", op}, {"le", "+Inf"}}, float64(lat.Count))
-	pw.sample("fbmpk_op_latency_seconds_sum", labels{{"plan", plan}, {"op", op}}, lat.Sum.Seconds())
-	pw.sample("fbmpk_op_latency_seconds_count", labels{{"plan", plan}, {"op", op}}, float64(lat.Count))
+		with([2]string{"op", op}, [2]string{"le", "+Inf"}), float64(lat.Count))
+	pw.sample("fbmpk_op_latency_seconds_sum", with([2]string{"op", op}), lat.Sum.Seconds())
+	pw.sample("fbmpk_op_latency_seconds_count", with([2]string{"op", op}), float64(lat.Count))
 }
 
 type labels [][2]string

@@ -66,6 +66,24 @@ func Canonicalize(opt core.Options) core.Options {
 	} else if opt.MaxInFlight <= 0 {
 		opt.MaxInFlight = 0
 	}
+	switch opt.Backend {
+	case core.BackendSELL:
+		// Resolve defaults and sigma rounding so every spelling of the
+		// same executed SELL configuration shares a key; the BSR knob is
+		// inert.
+		opt.SELLChunk, opt.SELLSigma = core.CanonicalSELLParams(opt.SELLChunk, opt.SELLSigma)
+		opt.BSRBlock = 0
+	case core.BackendBSR:
+		// SELL knobs are inert; non-positive block sizes all mean
+		// "detect from the structure".
+		opt.SELLChunk, opt.SELLSigma = 0, 0
+		if opt.BSRBlock < 0 {
+			opt.BSRBlock = 0
+		}
+	default:
+		// CSR and Auto ignore every format knob (Auto picks its own).
+		opt.SELLChunk, opt.SELLSigma, opt.BSRBlock = 0, 0, 0
+	}
 	return opt
 }
 
@@ -85,8 +103,10 @@ func Fingerprint(a *sparse.CSR, opt core.Options) Key {
 	h := sha256.New()
 	var buf [fingerprintBufLen]byte
 
-	// Header: format tag, dimensions, canonicalized options.
-	n := copy(buf[:], "fbmpk-plan-v1\x00")
+	// Header: format tag, dimensions, canonicalized options. The tag
+	// version moves whenever the header layout changes (v2 added the
+	// backend words), so keys from different layouts can never collide.
+	n := copy(buf[:], "fbmpk-plan-v2\x00")
 	for _, v := range headerWords(a, Canonicalize(opt)) {
 		binary.LittleEndian.PutUint64(buf[n:], v)
 		n += 8
@@ -136,14 +156,14 @@ func Fingerprint(a *sparse.CSR, opt core.Options) Key {
 // headerWords flattens the dimensions and canonical options into
 // fixed-position words so every field occupies its own slot in the
 // digest input (no ambiguity between adjacent fields).
-func headerWords(a *sparse.CSR, opt core.Options) [12]uint64 {
+func headerWords(a *sparse.CSR, opt core.Options) [16]uint64 {
 	b2u := func(b bool) uint64 {
 		if b {
 			return 1
 		}
 		return 0
 	}
-	return [12]uint64{
+	return [16]uint64{
 		uint64(a.Rows),
 		uint64(a.Cols),
 		uint64(a.NNZ()),
@@ -156,5 +176,51 @@ func headerWords(a *sparse.CSR, opt core.Options) [12]uint64 {
 		b2u(opt.PreRCM),
 		b2u(opt.SelfCheck),
 		uint64(opt.MaxInFlight),
+		uint64(opt.Backend),
+		uint64(opt.SELLChunk),
+		uint64(opt.SELLSigma),
+		uint64(opt.BSRBlock),
 	}
+}
+
+// StructureFingerprint digests only the matrix sparsity structure —
+// dimensions, row pointers, column indices; no values, no options. It
+// keys the registry's autotuner verdict cache: the tuner's decision
+// depends on the access pattern, not the numeric values, so plans for
+// the same structure under different options (or value updates in an
+// iterative sequence) reuse one verdict.
+func StructureFingerprint(a *sparse.CSR) Key {
+	h := sha256.New()
+	var buf [fingerprintBufLen]byte
+
+	n := copy(buf[:], "fbmpk-struct-v1\x00")
+	binary.LittleEndian.PutUint64(buf[n:], uint64(a.Rows))
+	binary.LittleEndian.PutUint64(buf[n+8:], uint64(a.Cols))
+	n += 16
+	h.Write(buf[:n])
+
+	n = 0
+	flushIfFull := func() {
+		if n == fingerprintBufLen {
+			h.Write(buf[:n])
+			n = 0
+		}
+	}
+	for _, v := range a.RowPtr {
+		binary.LittleEndian.PutUint64(buf[n:], uint64(v))
+		n += 8
+		flushIfFull()
+	}
+	for _, c := range a.ColIdx {
+		binary.LittleEndian.PutUint32(buf[n:], uint32(c))
+		n += 4
+		flushIfFull()
+	}
+	if n > 0 {
+		h.Write(buf[:n])
+	}
+
+	var k Key
+	h.Sum(k[:0])
+	return k
 }

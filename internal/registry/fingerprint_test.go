@@ -193,6 +193,170 @@ func TestFingerprintCanonicalEquivalence(t *testing.T) {
 	}
 }
 
+// TestFingerprintBackendSensitivity flips the backend knobs one at a
+// time and requires distinct keys for configurations that execute
+// differently.
+func TestFingerprintBackendSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := testCSR(rng, 80, 4)
+	base := core.Options{Engine: core.EngineStandard}
+	baseKey := Fingerprint(a, base)
+
+	perturb := map[string]core.Options{}
+	o := base
+	o.Backend = core.BackendSELL
+	perturb["Backend=sell"] = o
+	o = base
+	o.Backend = core.BackendBSR
+	perturb["Backend=bsr"] = o
+	o = base
+	o.Backend = core.BackendAuto
+	perturb["Backend=auto"] = o
+	o = base
+	o.Backend = core.BackendSELL
+	o.SELLChunk = 16
+	perturb["SELLChunk=16"] = o
+	o = base
+	o.Backend = core.BackendSELL
+	o.SELLSigma = 512
+	perturb["SELLSigma=512"] = o
+	o = base
+	o.Backend = core.BackendBSR
+	o.BSRBlock = 2
+	perturb["BSRBlock=2"] = o
+
+	seen := map[Key]string{baseKey: "base"}
+	for name, po := range perturb {
+		k := Fingerprint(a, po)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("backend knob %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+// TestFingerprintBackendCanonicalEquivalence verifies equivalent
+// backend spellings collapse to one registry key: defaults vs explicit
+// values, sigma rounded to a chunk multiple, and format knobs inert
+// for the selected backend.
+func TestFingerprintBackendCanonicalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := testCSR(rng, 80, 4)
+	std := func() core.Options { return core.Options{Engine: core.EngineStandard} }
+
+	pairs := []struct {
+		name string
+		x, y core.Options
+	}{
+		{"SELL defaults vs explicit", func() core.Options {
+			o := std()
+			o.Backend = core.BackendSELL
+			return o
+		}(), func() core.Options {
+			o := std()
+			o.Backend = core.BackendSELL
+			o.SELLChunk = core.DefaultSELLChunk
+			o.SELLSigma = core.DefaultSELLSigma
+			return o
+		}()},
+		{"SELL sigma rounds up to chunk multiple", func() core.Options {
+			o := std()
+			o.Backend = core.BackendSELL
+			o.SELLChunk = 16
+			o.SELLSigma = 100
+			return o
+		}(), func() core.Options {
+			o := std()
+			o.Backend = core.BackendSELL
+			o.SELLChunk = 16
+			o.SELLSigma = 112
+			return o
+		}()},
+		{"SELL knobs inert for CSR backend", std(), func() core.Options {
+			o := std()
+			o.SELLChunk = 32
+			o.SELLSigma = 64
+			o.BSRBlock = 3
+			return o
+		}()},
+		{"SELL knobs inert for BSR backend", func() core.Options {
+			o := std()
+			o.Backend = core.BackendBSR
+			return o
+		}(), func() core.Options {
+			o := std()
+			o.Backend = core.BackendBSR
+			o.SELLChunk = 32
+			o.SELLSigma = 64
+			return o
+		}()},
+		{"BSR knob inert for SELL backend", func() core.Options {
+			o := std()
+			o.Backend = core.BackendSELL
+			return o
+		}(), func() core.Options {
+			o := std()
+			o.Backend = core.BackendSELL
+			o.BSRBlock = 4
+			return o
+		}()},
+		{"format knobs inert for auto backend", func() core.Options {
+			o := std()
+			o.Backend = core.BackendAuto
+			return o
+		}(), func() core.Options {
+			o := std()
+			o.Backend = core.BackendAuto
+			o.SELLChunk = 32
+			o.BSRBlock = 2
+			return o
+		}()},
+	}
+	for _, p := range pairs {
+		if Fingerprint(a, p.x) != Fingerprint(a, p.y) {
+			t.Errorf("%s: keys differ but plans are interchangeable", p.name)
+		}
+	}
+}
+
+// TestStructureFingerprint checks the tuner verdict cache key: values
+// don't participate (a value flip keys identically) while any
+// structural change — index, row pointer, dimension — does.
+func TestStructureFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := testCSR(rng, 100, 4)
+	base := StructureFingerprint(a)
+
+	if StructureFingerprint(cloneCSR(a)) != base {
+		t.Fatal("identical clone keys differently")
+	}
+
+	val := cloneCSR(a)
+	for i := range val.Val {
+		val.Val[i] *= 2
+	}
+	if StructureFingerprint(val) != base {
+		t.Fatal("value-only change altered the structure key")
+	}
+
+	idx := cloneCSR(a)
+	for k := 1; k < len(idx.ColIdx); k++ {
+		if idx.ColIdx[k]-idx.ColIdx[k-1] > 1 {
+			idx.ColIdx[k]--
+			break
+		}
+	}
+	if StructureFingerprint(idx) == base {
+		t.Fatal("column-index change not reflected in structure key")
+	}
+
+	dim := cloneCSR(a)
+	dim.Cols++
+	if StructureFingerprint(dim) == base {
+		t.Fatal("dimension change not reflected in structure key")
+	}
+}
+
 // BenchmarkFingerprint measures hashing throughput: the cost of a
 // cache hit's key computation relative to the build it avoids.
 func BenchmarkFingerprint(b *testing.B) {

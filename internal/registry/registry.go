@@ -53,6 +53,14 @@ type Registry struct {
 	buildFailures uint64
 	evictions     uint64
 	buildTime     time.Duration
+
+	// tunings caches autotuner verdicts keyed by StructureFingerprint.
+	// Verdicts are a few hundred bytes and survive plan LRU eviction on
+	// purpose: re-acquiring an evicted matrix re-runs preprocessing but
+	// never re-pays tuner sampling.
+	tunings    map[Key]core.TuneDecision
+	tuneHits   uint64
+	tuneMisses uint64
 }
 
 // entry is one cached (or in-flight) plan. refs counts outstanding
@@ -86,6 +94,14 @@ type Stats struct {
 	// BuildTime is the cumulative wall time of successful builds —
 	// the preprocessing cost the cache's hits avoided paying again.
 	BuildTime time.Duration `json:"build_time_ns"`
+
+	// TuneHits counts BackendAuto builds served a cached autotuner
+	// verdict (zero sampling); TuneMisses counts builds that ran the
+	// tuner; TuneVerdicts is the number of structure-keyed verdicts
+	// currently cached.
+	TuneHits     uint64 `json:"tune_hits"`
+	TuneMisses   uint64 `json:"tune_misses"`
+	TuneVerdicts int    `json:"tune_verdicts"`
 }
 
 // Lookups returns the total number of Acquire key lookups.
@@ -112,6 +128,7 @@ func New(capacity int) *Registry {
 		entries:  make(map[Key]*entry),
 		byPlan:   make(map[*core.Plan]*entry),
 		lru:      list.New(),
+		tunings:  make(map[Key]core.TuneDecision),
 	}
 }
 
@@ -134,6 +151,12 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 		return nil, fmt.Errorf("registry: Acquire: %w: %v", core.ErrInvalidMatrix, err)
 	}
 	key := Fingerprint(a, opt)
+	var structKey Key
+	if opt.Backend == core.BackendAuto {
+		// The verdict cache is keyed by structure alone: value updates
+		// and option changes reuse the same tuning decision.
+		structKey = StructureFingerprint(a)
+	}
 
 	r.mu.Lock()
 	if r.closed {
@@ -172,6 +195,15 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 	e.elem = r.lru.PushFront(e)
 	r.entries[key] = e
 	r.misses++
+	buildOpts := []core.Option{opt}
+	if opt.Backend == core.BackendAuto {
+		if dec, ok := r.tunings[structKey]; ok {
+			buildOpts = append(buildOpts, core.WithTunedDecision(dec))
+			r.tuneHits++
+		} else {
+			r.tuneMisses++
+		}
+	}
 	toClose := r.evictOverflowLocked()
 	r.mu.Unlock()
 	for _, p := range toClose {
@@ -179,7 +211,7 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 	}
 
 	buildStart := time.Now()
-	plan, err := core.NewPlan(a, opt)
+	plan, err := core.NewPlan(a, buildOpts...)
 	elapsed := time.Since(buildStart)
 
 	r.mu.Lock()
@@ -192,6 +224,11 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 		r.builds++
 		r.buildTime += elapsed
 		r.byPlan[plan] = e
+		if tune := plan.Stats().Tune; tune != nil && !tune.FromCache {
+			// Persist the fresh verdict (sans FromCache) for the next
+			// build of this structure.
+			r.tunings[structKey] = *tune
+		}
 	}
 	close(e.done)
 	shouldClose := err == nil && e.evicted && e.refs == 0
@@ -300,6 +337,9 @@ func (r *Registry) Stats() Stats {
 		BuildFailures: r.buildFailures,
 		Evictions:     r.evictions,
 		BuildTime:     r.buildTime,
+		TuneHits:      r.tuneHits,
+		TuneMisses:    r.tuneMisses,
+		TuneVerdicts:  len(r.tunings),
 	}
 }
 

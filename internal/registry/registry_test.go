@@ -385,3 +385,123 @@ func TestRegistryRejectsBadMatrix(t *testing.T) {
 		t.Errorf("rejected inputs counted as lookups: %+v", s)
 	}
 }
+
+// TestRegistryTuneVerdictCache is the ISSUE acceptance criterion for
+// the autotuner cache: the first BackendAuto Acquire of a structure
+// runs the tuner (samples > 0), and every later build of the same
+// structure — different options, different values, even after the plan
+// itself was LRU-evicted — replays the cached verdict with zero
+// tuning samples.
+func TestRegistryTuneVerdictCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := testCSR(rng, 300, 5)
+	reg := New(1)
+	defer reg.Close()
+
+	auto := core.Options{Engine: core.EngineStandard, Backend: core.BackendAuto}
+
+	p1, err := reg.Acquire(a, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Stats()
+	if s.TuneMisses != 1 || s.TuneHits != 0 || s.TuneVerdicts != 1 {
+		t.Fatalf("after first Acquire: %+v", s)
+	}
+	t1 := p1.Stats().Tune
+	if t1 == nil || t1.FromCache || t1.Samples == 0 {
+		t.Fatalf("first build should have tuned fresh: %+v", t1)
+	}
+	if err := reg.Release(p1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same structure, different options: new plan key (fresh build) but
+	// the verdict replays from cache with zero samples.
+	withThreads := auto
+	withThreads.Threads = 3
+	p2, err := reg.Acquire(a, withThreads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = reg.Stats()
+	if s.TuneHits != 1 || s.TuneMisses != 1 {
+		t.Fatalf("after second Acquire: %+v", s)
+	}
+	t2 := p2.Stats().Tune
+	if t2 == nil || !t2.FromCache || t2.Samples != 0 {
+		t.Fatalf("second build should have replayed the verdict: %+v", t2)
+	}
+	if t2.Backend != t1.Backend || t2.Chunk != t1.Chunk || t2.Sigma != t1.Sigma || t2.Block != t1.Block {
+		t.Fatalf("replayed decision %+v != fresh %+v", t2, t1)
+	}
+	if err := reg.Release(p2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same structure, different values: still a verdict hit.
+	b := cloneCSR(a)
+	for i := range b.Val {
+		b.Val[i] += 0.5
+	}
+	p3, err := reg.Acquire(b, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s = reg.Stats(); s.TuneHits != 2 {
+		t.Fatalf("value-only change should reuse the verdict: %+v", s)
+	}
+	if err := reg.Release(p3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Evict the plan with an unrelated matrix (capacity 1), then
+	// re-acquire: the plan rebuilds, the verdict does not.
+	other := testCSR(rng, 200, 4)
+	p4, err := reg.Acquire(other, core.Options{Engine: core.EngineStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Release(p4); err != nil {
+		t.Fatal(err)
+	}
+	p5, err := reg.Acquire(a, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Release(p5)
+	s = reg.Stats()
+	if s.TuneHits != 3 || s.TuneMisses != 1 {
+		t.Fatalf("verdict should survive plan eviction: %+v", s)
+	}
+	t5 := p5.Stats().Tune
+	if t5 == nil || !t5.FromCache || t5.Samples != 0 {
+		t.Fatalf("post-eviction build should replay the verdict: %+v", t5)
+	}
+}
+
+// TestRegistryTuneCountersInertForCSR checks non-auto Acquires never
+// touch the verdict cache or its counters.
+func TestRegistryTuneCountersInertForCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	a := testCSR(rng, 100, 4)
+	reg := New(4)
+	defer reg.Close()
+	for _, opt := range []core.Options{
+		{Engine: core.EngineStandard},
+		{Engine: core.EngineStandard, Backend: core.BackendSELL},
+		{Engine: core.EngineStandard, Backend: core.BackendBSR},
+	} {
+		p, err := reg.Acquire(a, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.Release(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := reg.Stats()
+	if s.TuneHits != 0 || s.TuneMisses != 0 || s.TuneVerdicts != 0 {
+		t.Fatalf("forced backends touched the tune cache: %+v", s)
+	}
+}

@@ -106,15 +106,66 @@ func (b *BSR) SpMV(x, y []float64) {
 	if len(x) < b.Cols || len(y) < b.Rows {
 		panic("sparse: BSR SpMV dimension mismatch")
 	}
-	r, c := b.R, b.C
-	for i := range y[:b.Rows] {
-		y[i] = 0
+	b.SpMVRange(x, y, 0, b.Rows)
+}
+
+// SpMVRange computes y[lo:hi] = (B*x)[lo:hi] for the scalar row range
+// [lo, hi). Block-row-aligned bounds (multiples of R) keep each
+// worker's blocks private in a row-parallel partition; unaligned
+// bounds are still handled correctly (the partial block row is
+// streamed with its scalar rows clamped to the range). The register-
+// blocked inner loops specialize the 2/3/4-wide blocks of FEM vector
+// degrees of freedom.
+func (b *BSR) SpMVRange(x, y []float64, lo, hi int) {
+	if hi > b.Rows {
+		hi = b.Rows
 	}
-	for br := 0; br < b.BRows; br++ {
+	if lo < 0 {
+		lo = 0
+	}
+	r, c := b.R, b.C
+	rc := r * c
+	// Register-blocked fast paths: square 2/3/4 blocks starting on a
+	// block boundary with no partial block column keep the whole
+	// accumulator set in registers and skip the per-block dispatch; a
+	// partial trailing block row falls through to the generic loop.
+	if r == c && lo%r == 0 && b.Cols%c == 0 {
+		brHi := hi / r
+		switch r {
+		case 2:
+			b.spmv2(x, y, lo/2, brHi)
+		case 3:
+			b.spmv3(x, y, lo/3, brHi)
+		case 4:
+			b.spmv4(x, y, lo/4, brHi)
+		default:
+			brHi = lo / r
+		}
+		lo = brHi * r
+		if lo >= hi {
+			return
+		}
+	}
+	var accBuf [16]float64
+	for br := lo / r; br*r < hi; br++ {
 		yBase := br * r
-		rowsHere := r
-		if yBase+rowsHere > b.Rows {
-			rowsHere = b.Rows - yBase
+		riLo := 0
+		if yBase < lo {
+			riLo = lo - yBase
+		}
+		riHi := r
+		if yBase+riHi > hi {
+			riHi = hi - yBase
+		}
+		rows := riHi - riLo
+		var acc []float64
+		if rows <= len(accBuf) {
+			acc = accBuf[:rows]
+			for i := range acc {
+				acc[i] = 0
+			}
+		} else {
+			acc = make([]float64, rows)
 		}
 		for k := b.RowPtr[br]; k < b.RowPtr[br+1]; k++ {
 			xBase := int(b.ColIdx[k]) * c
@@ -122,18 +173,194 @@ func (b *BSR) SpMV(x, y []float64) {
 			if xBase+colsHere > b.Cols {
 				colsHere = b.Cols - xBase
 			}
-			blk := b.Val[k*int64(r*c) : (k+1)*int64(r*c)]
-			for ri := 0; ri < rowsHere; ri++ {
-				s := 0.0
-				row := blk[ri*c : ri*c+colsHere]
-				xv := x[xBase : xBase+colsHere]
-				for ci := range row {
-					s += row[ci] * xv[ci]
+			blk := b.Val[k*int64(rc) : (k+1)*int64(rc)]
+			xv := x[xBase : xBase+colsHere : xBase+colsHere]
+			switch colsHere {
+			case 2:
+				x0, x1 := xv[0], xv[1]
+				for ri := riLo; ri < riHi; ri++ {
+					row := blk[ri*c : ri*c+2 : ri*c+2]
+					acc[ri-riLo] += row[0]*x0 + row[1]*x1
 				}
-				y[yBase+ri] += s
+			case 3:
+				x0, x1, x2 := xv[0], xv[1], xv[2]
+				for ri := riLo; ri < riHi; ri++ {
+					row := blk[ri*c : ri*c+3 : ri*c+3]
+					acc[ri-riLo] += row[0]*x0 + row[1]*x1 + row[2]*x2
+				}
+			case 4:
+				x0, x1, x2, x3 := xv[0], xv[1], xv[2], xv[3]
+				for ri := riLo; ri < riHi; ri++ {
+					row := blk[ri*c : ri*c+4 : ri*c+4]
+					acc[ri-riLo] += (row[0]*x0 + row[1]*x1) + (row[2]*x2 + row[3]*x3)
+				}
+			default:
+				for ri := riLo; ri < riHi; ri++ {
+					row := blk[ri*c : ri*c+colsHere]
+					s := 0.0
+					for ci := range row {
+						s += row[ci] * xv[ci]
+					}
+					acc[ri-riLo] += s
+				}
+			}
+		}
+		for i, s := range acc {
+			y[yBase+riLo+i] = s
+		}
+	}
+}
+
+// spmv2 is the register-blocked kernel for complete 2x2 block rows
+// [brLo, brHi): both accumulators live in registers across the block
+// stream, one multiply-add pair per stored scalar.
+func (b *BSR) spmv2(x, y []float64, brLo, brHi int) {
+	val, colIdx := b.Val, b.ColIdx
+	for br := brLo; br < brHi; br++ {
+		var s0, s1 float64
+		for k := b.RowPtr[br]; k < b.RowPtr[br+1]; k++ {
+			xv := x[int(colIdx[k])*2:]
+			blk := val[k*4 : k*4+4 : k*4+4]
+			x0, x1 := xv[0], xv[1]
+			s0 += blk[0]*x0 + blk[1]*x1
+			s1 += blk[2]*x0 + blk[3]*x1
+		}
+		y[br*2] = s0
+		y[br*2+1] = s1
+	}
+}
+
+// spmv3 is the register-blocked kernel for complete 3x3 block rows.
+func (b *BSR) spmv3(x, y []float64, brLo, brHi int) {
+	val, colIdx := b.Val, b.ColIdx
+	for br := brLo; br < brHi; br++ {
+		var s0, s1, s2 float64
+		for k := b.RowPtr[br]; k < b.RowPtr[br+1]; k++ {
+			xv := x[int(colIdx[k])*3:]
+			blk := val[k*9 : k*9+9 : k*9+9]
+			x0, x1, x2 := xv[0], xv[1], xv[2]
+			s0 += blk[0]*x0 + blk[1]*x1 + blk[2]*x2
+			s1 += blk[3]*x0 + blk[4]*x1 + blk[5]*x2
+			s2 += blk[6]*x0 + blk[7]*x1 + blk[8]*x2
+		}
+		y[br*3] = s0
+		y[br*3+1] = s1
+		y[br*3+2] = s2
+	}
+}
+
+// spmv4 is the register-blocked kernel for complete 4x4 block rows.
+func (b *BSR) spmv4(x, y []float64, brLo, brHi int) {
+	val, colIdx := b.Val, b.ColIdx
+	for br := brLo; br < brHi; br++ {
+		var s0, s1, s2, s3 float64
+		for k := b.RowPtr[br]; k < b.RowPtr[br+1]; k++ {
+			xv := x[int(colIdx[k])*4:]
+			blk := val[k*16 : k*16+16 : k*16+16]
+			x0, x1, x2, x3 := xv[0], xv[1], xv[2], xv[3]
+			s0 += (blk[0]*x0 + blk[1]*x1) + (blk[2]*x2 + blk[3]*x3)
+			s1 += (blk[4]*x0 + blk[5]*x1) + (blk[6]*x2 + blk[7]*x3)
+			s2 += (blk[8]*x0 + blk[9]*x1) + (blk[10]*x2 + blk[11]*x3)
+			s3 += (blk[12]*x0 + blk[13]*x1) + (blk[14]*x2 + blk[15]*x3)
+		}
+		y[br*4] = s0
+		y[br*4+1] = s1
+		y[br*4+2] = s2
+		y[br*4+3] = s3
+	}
+}
+
+// SpMM computes Y = B*X for nv dense vectors in the row-major block
+// layout of sparse.SpMM (X[i*nv+c] is component c at row i).
+func (b *BSR) SpMM(x, y []float64, nv int) {
+	if nv < 1 {
+		panic("sparse: BSR SpMM needs nv >= 1")
+	}
+	if len(x) < b.Cols*nv || len(y) < b.Rows*nv {
+		panic("sparse: BSR SpMM dimension mismatch")
+	}
+	b.SpMMRange(x, y, nv, 0, b.Rows)
+}
+
+// SpMMRange computes Y[lo:hi] = (B*X)[lo:hi] in the row-major block
+// layout for the scalar row range [lo, hi); see SpMVRange for the
+// alignment contract.
+func (b *BSR) SpMMRange(x, y []float64, nv, lo, hi int) {
+	if hi > b.Rows {
+		hi = b.Rows
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	r, c := b.R, b.C
+	rc := r * c
+	for br := lo / r; br*r < hi; br++ {
+		yBase := br * r
+		riLo := 0
+		if yBase < lo {
+			riLo = lo - yBase
+		}
+		riHi := r
+		if yBase+riHi > hi {
+			riHi = hi - yBase
+		}
+		for ri := riLo; ri < riHi; ri++ {
+			yi := y[(yBase+ri)*nv : (yBase+ri)*nv+nv : (yBase+ri)*nv+nv]
+			for v := range yi {
+				yi[v] = 0
+			}
+		}
+		for k := b.RowPtr[br]; k < b.RowPtr[br+1]; k++ {
+			xBase := int(b.ColIdx[k]) * c
+			colsHere := c
+			if xBase+colsHere > b.Cols {
+				colsHere = b.Cols - xBase
+			}
+			blk := b.Val[k*int64(rc) : (k+1)*int64(rc)]
+			for ri := riLo; ri < riHi; ri++ {
+				yi := y[(yBase+ri)*nv : (yBase+ri)*nv+nv : (yBase+ri)*nv+nv]
+				row := blk[ri*c : ri*c+colsHere]
+				for ci, val := range row {
+					if val == 0 {
+						continue // zero-filled slot of a partial block
+					}
+					xv := x[(xBase+ci)*nv : (xBase+ci)*nv+nv]
+					for v := range yi {
+						yi[v] += val * xv[v]
+					}
+				}
 			}
 		}
 	}
+}
+
+// CountBSRBlocks counts the dense r x c blocks ToBSR would store for
+// matrix a, without materializing them — the cheap pass a block-size
+// detector uses to estimate fill ratio per candidate block size.
+func CountBSRBlocks(a *CSR, r, c int) int64 {
+	if r < 1 || c < 1 {
+		panic("sparse: BSR block dims must be positive")
+	}
+	bRows := (a.Rows + r - 1) / r
+	bCols := (a.Cols + c - 1) / c
+	mark := make([]int32, bCols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var nnzb int64
+	for br := 0; br < bRows; br++ {
+		for i := br * r; i < (br+1)*r && i < a.Rows; i++ {
+			cols, _ := a.Row(i)
+			for _, col := range cols {
+				bc := int(col) / c
+				if mark[bc] != int32(br) {
+					mark[bc] = int32(br)
+					nnzb++
+				}
+			}
+		}
+	}
+	return nnzb
 }
 
 // NNZBlocks returns the number of stored blocks.

@@ -98,23 +98,96 @@ func (s *SELL) SpMV(x, y []float64) {
 	if len(x) < s.Cols || len(y) < s.Rows {
 		panic("sparse: SELL SpMV dimension mismatch")
 	}
+	s.SpMVRange(x, y, 0, s.Rows)
+}
+
+// SpMVRange computes the storage-row range [lo, hi) of y = S*x. The
+// range addresses storage rows (the sigma-sorted order the chunks are
+// laid out in); results scatter through Perm back to original row
+// positions, so distinct storage ranges write distinct y entries and
+// row-parallel workers can partition storage rows without write
+// conflicts. Chunk-aligned bounds (multiples of C) keep each worker's
+// chunks private; unaligned bounds are still handled correctly.
+func (s *SELL) SpMVRange(x, y []float64, lo, hi int) {
 	n := s.Rows
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
 	c := s.C
-	nChunks := len(s.ChunkWidth)
-	for ch := 0; ch < nChunks; ch++ {
+	for ch := lo / c; ch*c < hi; ch++ {
 		base := s.ChunkPtr[ch]
 		w := int(s.ChunkWidth[ch])
-		lanes := c
-		if ch == nChunks-1 && n%c != 0 {
-			lanes = n % c
+		laneLo := 0
+		if ch*c < lo {
+			laneLo = lo - ch*c
 		}
-		for lane := 0; lane < lanes; lane++ {
+		laneHi := c
+		if ch*c+laneHi > hi {
+			laneHi = hi - ch*c
+		}
+		for lane := laneLo; lane < laneHi; lane++ {
 			sum := 0.0
 			for k := 0; k < w; k++ {
 				idx := base + int64(k*c+lane)
 				sum += s.Val[idx] * x[s.ColIdx[idx]]
 			}
 			y[s.Perm[ch*c+lane]] = sum
+		}
+	}
+}
+
+// SpMM computes Y = S*X for nv dense vectors in the row-major block
+// layout of sparse.SpMM (X[i*nv+c] is component c at row i), with
+// results in original row order.
+func (s *SELL) SpMM(x, y []float64, nv int) {
+	if nv < 1 {
+		panic("sparse: SELL SpMM needs nv >= 1")
+	}
+	if len(x) < s.Cols*nv || len(y) < s.Rows*nv {
+		panic("sparse: SELL SpMM dimension mismatch")
+	}
+	s.SpMMRange(x, y, nv, 0, s.Rows)
+}
+
+// SpMMRange computes the storage-row range [lo, hi) of Y = S*X in the
+// row-major block layout; see SpMVRange for the storage-row contract.
+func (s *SELL) SpMMRange(x, y []float64, nv, lo, hi int) {
+	n := s.Rows
+	if hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	c := s.C
+	for ch := lo / c; ch*c < hi; ch++ {
+		base := s.ChunkPtr[ch]
+		w := int(s.ChunkWidth[ch])
+		laneLo := 0
+		if ch*c < lo {
+			laneLo = lo - ch*c
+		}
+		laneHi := c
+		if ch*c+laneHi > hi {
+			laneHi = hi - ch*c
+		}
+		for lane := laneLo; lane < laneHi; lane++ {
+			row := int(s.Perm[ch*c+lane]) * nv
+			yi := y[row : row+nv : row+nv]
+			for v := range yi {
+				yi[v] = 0
+			}
+			for k := 0; k < w; k++ {
+				idx := base + int64(k*c+lane)
+				val := s.Val[idx]
+				xv := x[int(s.ColIdx[idx])*nv : int(s.ColIdx[idx])*nv+nv]
+				for v := range yi {
+					yi[v] += val * xv[v]
+				}
+			}
 		}
 	}
 }

@@ -174,9 +174,9 @@ func TestRegistryDebugHandler(t *testing.T) {
 		`fbmpk_cache_entries{registry="registry"} 1`,
 		`fbmpk_cache_live{registry="registry"} 1`,
 		`fbmpk_cache_hit_rate{registry="registry"} 0.5`,
-		`fbmpk_build_seconds{plan="plan0",stage="total"}`,
-		`fbmpk_build_seconds{plan="plan0",stage="split"}`,
-		`fbmpk_calls_total{plan="plan0",op="mpk"} 1`,
+		`fbmpk_build_seconds{plan="plan0",backend="csr",stage="total"}`,
+		`fbmpk_build_seconds{plan="plan0",backend="csr",stage="split"}`,
+		`fbmpk_calls_total{plan="plan0",backend="csr",op="mpk"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics output missing %q", want)
