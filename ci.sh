@@ -80,6 +80,40 @@ kill "$SOLVE_PID" 2> /dev/null || true
 wait "$SOLVE_PID" 2> /dev/null || true
 [ "$scrape_ok" -eq 1 ]
 
+# Serving daemon end-to-end: the full contract suite (deadline
+# propagation, deterministic 429 shed, graceful-drain bitwise
+# identity, N concurrent clients) under -race, then a live
+# fbmpkd + fbmpkload round trip: start the daemon on an ephemeral
+# port, offer a short open-loop load curve, gate the JSON report
+# (-check: zero hard errors, finite p99), scrape /metrics for both
+# the daemon and plan-cache families, and SIGTERM it — the drain must
+# exit 0.
+go test -race ./internal/serve/ -count 1
+go build -o /tmp/fbmpk_ci_fbmpkd ./cmd/fbmpkd
+go build -o /tmp/fbmpk_ci_fbmpkload ./cmd/fbmpkload
+rm -f /tmp/fbmpk_ci_fbmpkd.log
+/tmp/fbmpk_ci_fbmpkd -addr 127.0.0.1:0 -threads 2 > /tmp/fbmpk_ci_fbmpkd.log &
+FBMPKD_PID=$!
+DADDR=
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  DADDR=$(sed -n 's#^fbmpkd: listening on http://\(.*\)$#\1#p' /tmp/fbmpk_ci_fbmpkd.log)
+  if [ -n "$DADDR" ] && curl -sf "http://$DADDR/healthz" > /dev/null; then
+    break
+  fi
+  DADDR=
+  sleep 1
+done
+[ -n "$DADDR" ]
+/tmp/fbmpk_ci_fbmpkload -addr "http://$DADDR" -matrix cant -scale 0.004 \
+  -qps 10,25,50 -duration 2s -k 4 -json /tmp/fbmpk_ci_load.json
+/tmp/fbmpk_ci_fbmpkload -check /tmp/fbmpk_ci_load.json
+curl -sf "http://$DADDR/metrics" > /tmp/fbmpk_ci_daemon_metrics.txt
+grep -q 'fbmpkd_requests_total{op="mpk",outcome="ok"}' /tmp/fbmpk_ci_daemon_metrics.txt
+grep -q 'fbmpk_cache_hits_total{' /tmp/fbmpk_ci_daemon_metrics.txt
+kill -TERM "$FBMPKD_PID"
+wait "$FBMPKD_PID"
+grep -q 'fbmpkd: drained cleanly' /tmp/fbmpk_ci_fbmpkd.log
+
 FUZZTIME=${FUZZTIME:-10s}
 go test -run '^$' -fuzz '^FuzzDifferentialMPK$'   -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzDifferentialSSpMV$' -fuzztime "$FUZZTIME" .

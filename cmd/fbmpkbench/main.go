@@ -30,6 +30,7 @@ import (
 	"fbmpk/internal/bench"
 	"fbmpk/internal/core"
 	"fbmpk/internal/expo"
+	"fbmpk/internal/serve"
 )
 
 func main() {
@@ -87,11 +88,12 @@ func main() {
 		cfg.Report = bench.NewReport(cfg)
 	}
 	if *httpAddr != "" {
-		addr, err := serveDebug(*httpAddr, cfg.Report)
+		addr, hs, err := serveDebug(*httpAddr, cfg.Report)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fbmpkbench:", err)
 			os.Exit(1)
 		}
+		defer serve.Shutdown(hs, 2*time.Second) //nolint:errcheck
 		fmt.Fprintf(os.Stderr, "fbmpkbench: debug server on http://%s (metrics, debug/pprof)\n", addr)
 	}
 	if err := bench.Run(os.Stdout, cfg, splitList(*exps)); err != nil {
@@ -218,11 +220,12 @@ func checkReport(path string) error {
 // serveDebug starts a debug HTTP server rendering the report's plan
 // snapshots as Prometheus text, alongside the stock pprof/expvar
 // endpoints. It returns the bound address (the listener may pick a
-// port when addr ends in ":0").
-func serveDebug(addr string, rep *bench.Report) (string, error) {
+// port when addr ends in ":0") and the server so the caller can drain
+// it on the way out.
+func serveDebug(addr string, rep *bench.Report) (string, *http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -241,8 +244,9 @@ func serveDebug(addr string, rep *bench.Report) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go http.Serve(ln, mux) //nolint:errcheck // best-effort debug surface
-	return ln.Addr().String(), nil
+	hs := serve.NewHTTPServer(mux)
+	go hs.Serve(ln) //nolint:errcheck // best-effort debug surface
+	return ln.Addr().String(), hs, nil
 }
 
 func splitList(s string) []string {

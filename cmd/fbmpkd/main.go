@@ -1,0 +1,101 @@
+// Command fbmpkd is the FBMPK serving daemon: an HTTP/JSON front end
+// over the fingerprint-keyed plan registry. Clients upload matrices
+// (MatrixMarket bodies or generator specs) and get back a fingerprint
+// key; MPK/SSpMV/solve requests against that key are served from
+// registry-cached plans with per-request deadlines, load-shedding
+// admission (429 + Retry-After), and graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	fbmpkd -addr :8707 -threads 4
+//	fbmpkd -addr 127.0.0.1:0 -backend auto -registry-cap 8
+//
+//	curl -s localhost:8707/v1/matrix -H 'Content-Type: application/json' \
+//	     -d '{"name":"cant","scale":0.01,"seed":1}'
+//	curl -s localhost:8707/v1/mpk \
+//	     -d '{"matrix":"<key>","k":5,"return":"checksum"}'
+//
+// See the README "Serving over the network" section for the full
+// walkthrough and cmd/fbmpkload for the load harness.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"fbmpk"
+	"fbmpk/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8707", "listen address (host:0 picks a port)")
+		threads     = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads per plan")
+		backend     = flag.String("backend", "csr", "execution backend: csr | auto | sell | bsr")
+		registryCap = flag.Int("registry-cap", 0, "plan cache capacity (0 = unbounded)")
+		maxInflight = flag.Int("max-inflight", 0, "admission limit on concurrent requests (0 = 4x GOMAXPROCS)")
+		deadline    = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-deadline", 5*time.Minute, "clamp on client-requested deadlines")
+		maxBody     = flag.Int64("max-body", 256<<20, "request body size cap in bytes")
+		maxMatrices = flag.Int("max-matrices", 64, "resident uploaded matrix cap")
+		drain       = flag.Duration("drain", 30*time.Second, "in-flight grace period on SIGTERM/SIGINT")
+	)
+	flag.Parse()
+	if err := run(*addr, *threads, *backend, *registryCap, *maxInflight,
+		*deadline, *maxTimeout, *maxBody, *maxMatrices, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "fbmpkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, threads int, backend string, registryCap, maxInflight int,
+	deadline, maxTimeout time.Duration, maxBody int64, maxMatrices int, drain time.Duration) error {
+	bk, err := fbmpk.ParseBackend(backend)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(serve.Config{
+		RegistryCapacity: registryCap,
+		MaxInFlight:      maxInflight,
+		DefaultTimeout:   deadline,
+		MaxTimeout:       maxTimeout,
+		MaxBodyBytes:     maxBody,
+		MaxMatrices:      maxMatrices,
+		PlanOptions:      []fbmpk.Option{fbmpk.WithThreads(threads), fbmpk.WithBackend(bk)},
+	})
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	hs := serve.NewHTTPServer(srv.Handler())
+	// The startup line is the machine-readable contract the CI harness
+	// and fbmpkload's docs rely on to discover a :0-bound port.
+	fmt.Printf("fbmpkd: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+		stop()
+		fmt.Printf("fbmpkd: signal received, draining in-flight requests (up to %v)\n", drain)
+		if err := serve.Shutdown(hs, drain); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Println("fbmpkd: drained cleanly")
+		return nil
+	}
+}

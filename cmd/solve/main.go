@@ -18,12 +18,12 @@ import (
 	"fmt"
 	"math"
 	"net"
-	"net/http"
 	"os"
 	"runtime"
 	"time"
 
 	"fbmpk"
+	"fbmpk/internal/serve"
 	"fbmpk/solver"
 )
 
@@ -136,7 +136,9 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 		if reg != nil {
 			handler = fbmpk.RegistryDebugHandler(reg, plan)
 		}
-		go http.Serve(ln, handler) //nolint:errcheck // best-effort debug surface
+		hs := serve.NewHTTPServer(handler)
+		go hs.Serve(ln)                         //nolint:errcheck // best-effort debug surface
+		defer serve.Shutdown(hs, 2*time.Second) //nolint:errcheck
 	}
 
 	n := a.Rows

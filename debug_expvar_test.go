@@ -1,0 +1,89 @@
+package fbmpk
+
+// PublishExpvar lifetime contract: a published variable must keep
+// serving metrics after the plan closes — expvar has no unregister —
+// but must do so from a frozen snapshot, releasing the plan pointer so
+// a closed plan's kernels and workspaces do not stay reachable for the
+// life of the process.
+
+import (
+	"encoding/json"
+	"expvar"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestExpvarPlanFreezesOnClose(t *testing.T) {
+	a, err := GenerateSuiteMatrix("cant", 0.004, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	x0 := randVec(rng, a.Rows)
+	if _, err := plan.MPK(x0, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	pub := &expvarPlan{plan: plan}
+	live, ok := pub.value().(PlanMetrics)
+	if !ok {
+		t.Fatalf("value() returned %T, want PlanMetrics", pub.value())
+	}
+	if live.SpMVs != 4 {
+		t.Fatalf("live snapshot SpMVs = %d, want 4", live.SpMVs)
+	}
+	if pub.plan == nil || pub.final != nil {
+		t.Fatal("reads of a live plan must not freeze the snapshot")
+	}
+
+	plan.Close()
+	frozen := pub.value().(PlanMetrics)
+	if pub.plan != nil {
+		t.Fatal("plan pointer still held after Close: the expvar pins the closed plan's memory")
+	}
+	if pub.final == nil {
+		t.Fatal("no frozen snapshot captured after Close")
+	}
+	if frozen.SpMVs != live.SpMVs || frozen.NnzStreamed != live.NnzStreamed {
+		t.Fatalf("frozen snapshot diverges from final live counters: %+v vs %+v", frozen, live)
+	}
+	// Every later read serves the identical frozen value.
+	if again := pub.value().(PlanMetrics); !reflect.DeepEqual(again, frozen) {
+		t.Fatalf("frozen snapshot not stable: %+v vs %+v", again, frozen)
+	}
+}
+
+func TestPublishExpvarServesFrozenSnapshotAfterClose(t *testing.T) {
+	a, err := GenerateSuiteMatrix("cant", 0.004, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := NewPlan(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const name = "fbmpk.test_frozen_plan"
+	if err := PublishExpvar(name, plan); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	if _, err := plan.MPK(randVec(rng, a.Rows), 3); err != nil {
+		t.Fatal(err)
+	}
+	plan.Close()
+
+	// The published variable must still render the final counters as
+	// valid JSON after Close.
+	var m PlanMetrics
+	if err := json.Unmarshal([]byte(expvar.Get(name).String()), &m); err != nil {
+		t.Fatalf("published variable no longer valid JSON after Close: %v", err)
+	}
+	if m.SpMVs != 3 {
+		t.Fatalf("frozen published SpMVs = %d, want 3", m.SpMVs)
+	}
+}

@@ -41,6 +41,8 @@ func WriteRegistryMetrics(w io.Writer, snaps ...RegistrySnapshot) error {
 		func(s registry.Stats) float64 { return float64(s.Misses) })
 	counter("fbmpk_cache_coalesced_total", "Acquires that joined another caller's in-flight build (singleflight).",
 		func(s registry.Stats) float64 { return float64(s.Coalesced) })
+	counter("fbmpk_cache_canceled_total", "AcquireCtx calls abandoned on context cancellation.",
+		func(s registry.Stats) float64 { return float64(s.Canceled) })
 	counter("fbmpk_cache_builds_total", "Successful plan constructions.",
 		func(s registry.Stats) float64 { return float64(s.Builds) })
 	counter("fbmpk_cache_build_failures_total", "Plan constructions that returned an error.",

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -49,6 +50,7 @@ type Registry struct {
 	hits          uint64
 	misses        uint64
 	coalesced     uint64
+	canceled      uint64
 	builds        uint64
 	buildFailures uint64
 	evictions     uint64
@@ -87,6 +89,7 @@ type Stats struct {
 	Hits          uint64 `json:"hits"`      // served from cache, build already done
 	Misses        uint64 `json:"misses"`    // triggered a build
 	Coalesced     uint64 `json:"coalesced"` // joined another caller's in-flight build
+	Canceled      uint64 `json:"canceled"`  // AcquireCtx calls abandoned on context cancellation
 	Builds        uint64 `json:"builds"`    // successful plan constructions
 	BuildFailures uint64 `json:"build_failures"`
 	Evictions     uint64 `json:"evictions"`
@@ -141,6 +144,21 @@ func New(capacity int) *Registry {
 // The caller must not mutate a or close the returned plan while the
 // reference is held (Release, not Close, is the hand-back).
 func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, error) {
+	return r.AcquireCtx(context.Background(), a, opts...)
+}
+
+// AcquireCtx is Acquire honoring ctx. Cancellation is observed before
+// the lookup and — the case Acquire could block on uncancellably —
+// while waiting for another caller's in-flight singleflight build: the
+// waiter abandons the wait with an error wrapping ctx.Err() while the
+// build itself runs to completion for the owner and any remaining
+// waiters (and stays cached). A flight owner whose context fires
+// mid-build likewise finishes the build for the cache, releases its
+// reference, and returns the cancellation error.
+func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.Option) (*core.Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	opt := Canonicalize(core.BuildOptions(opts...))
 	// Validate before hashing so a malformed CSR fails fast with the
 	// same typed error NewPlan would return, instead of a bogus key.
@@ -149,6 +167,12 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 	}
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("registry: Acquire: %w: %v", core.ErrInvalidMatrix, err)
+	}
+	if err := ctx.Err(); err != nil {
+		r.mu.Lock()
+		r.canceled++
+		r.mu.Unlock()
+		return nil, fmt.Errorf("registry: Acquire canceled: %w", err)
 	}
 	key := Fingerprint(a, opt)
 	var structKey Key
@@ -178,7 +202,17 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 			r.coalesced++
 		}
 		r.mu.Unlock()
-		<-e.done // no-op when built; else wait for the flight owner
+		if !built {
+			// Wait for the flight owner, but remain cancellable: a
+			// waiter's deadline must not be hostage to the owner's
+			// build time. The build completes regardless.
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				r.abandonWait(e)
+				return nil, fmt.Errorf("registry: Acquire canceled awaiting in-flight build: %w", ctx.Err())
+			}
+		}
 		if e.err != nil {
 			// Failed build: the owner already unlinked the entry;
 			// just drop our reference.
@@ -231,6 +265,14 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 		}
 	}
 	close(e.done)
+	bail := err == nil && ctx.Err() != nil
+	if bail {
+		// The owner's context fired mid-build. The plan is finished and
+		// cached for the waiters that coalesced onto this flight; only
+		// this caller's reference and result are abandoned.
+		e.refs--
+		r.canceled++
+	}
 	shouldClose := err == nil && e.evicted && e.refs == 0
 	r.mu.Unlock()
 	if shouldClose {
@@ -238,7 +280,34 @@ func (r *Registry) Acquire(a *sparse.CSR, opts ...core.Option) (*core.Plan, erro
 		// already bailed: nobody holds it, tear it down now.
 		r.closeEvicted(plan, e)
 	}
+	if bail {
+		return nil, fmt.Errorf("registry: Acquire canceled during build: %w", ctx.Err())
+	}
 	return plan, err
+}
+
+// abandonWait drops the reference a canceled AcquireCtx waiter took on
+// an in-flight entry. If the build happened to complete concurrently
+// with the cancellation and the entry has since been evicted with no
+// other holders, the plan is closed here — otherwise the flight owner
+// (still mid-Acquire, holding its own reference) observes the drained
+// refcount at build completion and handles teardown.
+func (r *Registry) abandonWait(e *entry) {
+	r.mu.Lock()
+	e.refs--
+	r.canceled++
+	built := false
+	select {
+	case <-e.done:
+		built = true
+	default:
+	}
+	shouldClose := built && e.err == nil && e.plan != nil && e.evicted && e.refs == 0
+	p := e.plan
+	r.mu.Unlock()
+	if shouldClose {
+		r.closeEvicted(p, e)
+	}
 }
 
 // Release drops one reference taken by Acquire. When the entry has
@@ -333,6 +402,7 @@ func (r *Registry) Stats() Stats {
 		Hits:          r.hits,
 		Misses:        r.misses,
 		Coalesced:     r.coalesced,
+		Canceled:      r.canceled,
 		Builds:        r.builds,
 		BuildFailures: r.buildFailures,
 		Evictions:     r.evictions,

@@ -1,10 +1,12 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"fbmpk/internal/core"
 	"fbmpk/internal/sparse"
@@ -503,5 +505,159 @@ func TestRegistryTuneCountersInertForCSR(t *testing.T) {
 	s := reg.Stats()
 	if s.TuneHits != 0 || s.TuneMisses != 0 || s.TuneVerdicts != 0 {
 		t.Fatalf("forced backends touched the tune cache: %+v", s)
+	}
+}
+
+// TestAcquireCtxPreCanceled checks an already-canceled context fails
+// fast with the wrapped cause, without inserting an entry or building.
+func TestAcquireCtxPreCanceled(t *testing.T) {
+	fx := makeFixtures(t, 1)[0]
+	reg := New(4)
+	defer reg.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := reg.AcquireCtx(ctx, fx.a, churnOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AcquireCtx with canceled context: got %v, want context.Canceled", err)
+	}
+	s := reg.Stats()
+	if reg.Len() != 0 || s.Builds != 0 || s.Canceled != 1 {
+		t.Fatalf("pre-canceled Acquire left state behind: len=%d stats=%+v", reg.Len(), s)
+	}
+}
+
+// TestAcquireCtxCanceledWhileCoalesced is the satellite contract: a
+// caller coalesced onto another caller's slow in-flight build abandons
+// the wait when its context fires, while the build itself completes
+// and keeps serving the remaining (and future) callers.
+func TestAcquireCtxCanceledWhileCoalesced(t *testing.T) {
+	fx := makeFixtures(t, 1)[0]
+	reg := New(4)
+	defer reg.Close()
+	opt := Canonicalize(core.BuildOptions(churnOptions()))
+	key := Fingerprint(fx.a, opt)
+
+	// Plant an in-flight entry under the exact key AcquireCtx computes,
+	// standing in for a flight owner stuck in a slow NewPlan.
+	e := &entry{key: key, refs: 1, done: make(chan struct{})}
+	reg.mu.Lock()
+	e.elem = reg.lru.PushFront(e)
+	reg.entries[key] = e
+	reg.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errc := make(chan error, 1)
+	go func() {
+		_, err := reg.AcquireCtx(ctx, fx.a, churnOptions())
+		errc <- err
+	}()
+	// Wait until the caller has actually joined the flight, then fire
+	// its context.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Stats().Coalesced == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("AcquireCtx never coalesced onto the planted build")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("abandoned wait returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AcquireCtx still blocked after cancellation: wait is uncancellable")
+	}
+	reg.mu.Lock()
+	refs := e.refs
+	reg.mu.Unlock()
+	if refs != 1 {
+		t.Fatalf("entry refs = %d after abandoned wait, want 1 (owner only)", refs)
+	}
+
+	// The owner finishes: the entry must serve later Acquires normally.
+	p, err := core.NewPlan(fx.a, churnOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.mu.Lock()
+	e.plan = p
+	reg.byPlan[p] = e
+	close(e.done)
+	reg.mu.Unlock()
+
+	got, err := reg.Acquire(fx.a, churnOptions())
+	if err != nil {
+		t.Fatalf("Acquire after completed build: %v", err)
+	}
+	if got != p {
+		t.Fatal("Acquire after completed build returned a different plan")
+	}
+	y, err := got.MPK(fx.x, churnPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.checkExact(t, y)
+	if err := reg.Release(got); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Release(p); err != nil { // the planted owner's reference
+		t.Fatal(err)
+	}
+	s := reg.Stats()
+	if s.Canceled != 1 || s.Hits != 1 {
+		t.Fatalf("stats after abandoned wait: %+v, want Canceled=1 Hits=1", s)
+	}
+}
+
+// TestAcquireCtxChurn races deadline-carrying and background Acquires
+// of one key: every success must return a usable plan, every failure
+// must wrap a context error, and the registry must stay consistent.
+// Run under -race in CI.
+func TestAcquireCtxChurn(t *testing.T) {
+	fx := makeFixtures(t, 1)[0]
+	reg := New(2)
+	defer reg.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if g%3 == 0 {
+					// A third of the callers carry tight, jittered
+					// deadlines that land before, during, and after the
+					// singleflight wait.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(i%5)*100*time.Microsecond)
+				}
+				p, err := reg.AcquireCtx(ctx, fx.a, churnOptions())
+				if err != nil {
+					cancel()
+					if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+						t.Errorf("AcquireCtx: unexpected error %v", err)
+						return
+					}
+					continue
+				}
+				y, err := p.MPK(fx.x, churnPower)
+				if err != nil {
+					t.Errorf("MPK on acquired plan: %v", err)
+				} else {
+					fx.checkExact(t, y)
+				}
+				if err := reg.Release(p); err != nil {
+					t.Errorf("Release: %v", err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := reg.Stats()
+	if s.Builds != s.Misses {
+		t.Fatalf("builds %d != misses %d: singleflight broke under cancellation churn", s.Builds, s.Misses)
 	}
 }

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// admission is the daemon's backpressure gate: a non-blocking
+// semaphore bounding how many operation requests may be decoding or
+// executing at once. It is deliberately different from the Plan's own
+// FIFO gate, which queues excess callers — under overload a queue only
+// converts offered load into unbounded goroutines and latency, so the
+// daemon sheds instead: a request that finds no free slot is answered
+// 429 with Retry-After immediately, keeping the latency of admitted
+// requests bounded and giving open-loop clients an explicit signal.
+type admission struct {
+	slots    chan struct{}
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// newAdmission builds a gate with the given concurrency limit;
+// limit <= 0 selects 4x GOMAXPROCS, enough to keep every core busy
+// through the registry's singleflight waits without letting the
+// request population grow unboundedly.
+func newAdmission(limit int) *admission {
+	if limit <= 0 {
+		limit = 4 * runtime.GOMAXPROCS(0)
+	}
+	return &admission{slots: make(chan struct{}, limit)}
+}
+
+// tryEnter claims a slot without blocking, reporting whether the
+// request is admitted. Callers that get true must pair it with leave.
+func (a *admission) tryEnter() bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		return true
+	default:
+		a.rejected.Add(1)
+		return false
+	}
+}
+
+// leave releases a slot claimed by tryEnter.
+func (a *admission) leave() { <-a.slots }
+
+// limit returns the configured concurrency bound.
+func (a *admission) limit() int { return cap(a.slots) }
+
+// inFlight returns the number of currently admitted requests.
+func (a *admission) inFlight() int { return len(a.slots) }

@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fbmpk"
+	"fbmpk/internal/expo"
+	"fbmpk/internal/mmio"
+)
+
+// Config sizes a daemon Server. The zero value is serviceable: an
+// unbounded registry, 4x-GOMAXPROCS admission, 30s default deadlines.
+type Config struct {
+	// RegistryCapacity bounds the plan cache (<= 0 = unbounded).
+	RegistryCapacity int
+	// MaxInFlight bounds concurrently executing operation requests;
+	// excess requests are shed with 429 (<= 0 = 4x GOMAXPROCS).
+	MaxInFlight int
+	// DefaultTimeout is the per-request deadline applied when a request
+	// carries no timeout_ms (<= 0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (<= 0 = 5m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps request bodies, uploads included
+	// (<= 0 = 256 MiB).
+	MaxBodyBytes int64
+	// MaxMatrices caps resident uploaded matrices (<= 0 = 64).
+	MaxMatrices int
+	// PlanOptions are the fixed build options (threads, backend, ...)
+	// every plan the daemon builds uses; they are part of the
+	// fingerprint keys handed back from upload.
+	PlanOptions []fbmpk.Option
+}
+
+func (c Config) defaultTimeout() time.Duration {
+	if c.DefaultTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.DefaultTimeout
+}
+
+func (c Config) maxTimeout() time.Duration {
+	if c.MaxTimeout <= 0 {
+		return 5 * time.Minute
+	}
+	return c.MaxTimeout
+}
+
+func (c Config) maxBody() int64 {
+	if c.MaxBodyBytes <= 0 {
+		return 256 << 20
+	}
+	return c.MaxBodyBytes
+}
+
+func (c Config) maxMatrices() int {
+	if c.MaxMatrices <= 0 {
+		return 64
+	}
+	return c.MaxMatrices
+}
+
+// Server is the daemon state behind the fbmpkd HTTP surface: the
+// uploaded-matrix store, the fingerprint-keyed plan registry every
+// operation runs against, and the admission gate. Create one with
+// New, mount Handler on an http.Server (NewHTTPServer), and Close it
+// after the HTTP server has drained.
+type Server struct {
+	cfg Config
+	reg *fbmpk.Registry
+	adm *admission
+
+	mu       sync.RWMutex
+	matrices map[string]*fbmpk.Matrix
+
+	started time.Time
+	// outcomes counts finished requests by op and outcome class, the
+	// daemon's contribution to /metrics beyond the registry families.
+	outcomes sync.Map // "op|outcome" -> *atomic.Uint64
+}
+
+// New builds a daemon server. Close it to tear down the plan
+// registry after the HTTP layer has drained.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg,
+		reg:      fbmpk.NewRegistry(cfg.RegistryCapacity),
+		adm:      newAdmission(cfg.MaxInFlight),
+		matrices: make(map[string]*fbmpk.Matrix),
+		started:  time.Now(),
+	}
+}
+
+// Registry exposes the plan cache (for tests and metrics embedding).
+func (s *Server) Registry() *fbmpk.Registry { return s.reg }
+
+// Close releases the plan registry. Call only after the HTTP server
+// has shut down; plans still referenced by in-flight requests are
+// closed by their final Release.
+func (s *Server) Close() { s.reg.Close() }
+
+// Handler returns the daemon's HTTP surface:
+//
+//	POST /v1/matrix   upload (MatrixMarket body, or JSON generator spec)
+//	POST /v1/mpk      A^k x0 against an uploaded matrix
+//	POST /v1/sspmv    sum coeffs[i] A^i x0
+//	POST /v1/solve    symmetric Gauss-Seidel sweeps for A x = b
+//	GET  /v1/matrices resident matrices and their keys
+//	GET  /healthz     readiness probe
+//	GET  /metrics     Prometheus text: daemon counters + plan cache
+//	/debug/vars, /debug/pprof, /trace   via RegistryDebugHandler
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/matrix", s.handleUpload)
+	mux.HandleFunc("/v1/mpk", s.handleOp("mpk"))
+	mux.HandleFunc("/v1/sspmv", s.handleOp("sspmv"))
+	mux.HandleFunc("/v1/solve", s.handleOp("solve"))
+	mux.HandleFunc("/v1/matrices", s.handleList)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	// The existing debug surface handles expvar, pprof and trace export;
+	// its own /metrics is superseded by the daemon's (which embeds the
+	// same registry families).
+	dbg := fbmpk.RegistryDebugHandler(s.reg)
+	mux.Handle("/debug/", dbg)
+	mux.Handle("/trace", dbg)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			writeErr(w, http.StatusNotFound, KindNotFound, "no such endpoint")
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "fbmpkd: FBMPK serving daemon")
+		fmt.Fprintln(w, "  POST /v1/matrix    upload a matrix (MatrixMarket body or JSON generator spec)")
+		fmt.Fprintln(w, "  POST /v1/mpk       {\"matrix\":key,\"k\":5}")
+		fmt.Fprintln(w, "  POST /v1/sspmv     {\"matrix\":key,\"coeffs\":[...]}")
+		fmt.Fprintln(w, "  POST /v1/solve     {\"matrix\":key,\"sweeps\":2}")
+		fmt.Fprintln(w, "  GET  /v1/matrices  resident matrices")
+		fmt.Fprintln(w, "  GET  /metrics      Prometheus text exposition")
+		fmt.Fprintln(w, "  GET  /debug/...    expvar, pprof; /trace")
+	})
+	return mux
+}
+
+// matrix looks up an uploaded matrix by its fingerprint key.
+func (s *Server) matrix(key string) *fbmpk.Matrix {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.matrices[key]
+}
+
+// handleUpload ingests a matrix and answers with its fingerprint key.
+// JSON bodies are generator specs; anything else is parsed as a
+// MatrixMarket document.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	var (
+		a   *fbmpk.Matrix
+		err error
+	)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var spec GeneratorSpec
+		if err := json.NewDecoder(body).Decode(&spec); err != nil {
+			s.uploadErr(w, http.StatusBadRequest, "decoding generator spec: %v", err)
+			return
+		}
+		a, err = fbmpk.GenerateSuiteMatrix(spec.Name, spec.Scale, spec.Seed)
+		if err != nil {
+			s.uploadErr(w, http.StatusBadRequest, "generating matrix: %v", err)
+			return
+		}
+	} else {
+		a, _, err = mmio.Read(body)
+		if err != nil {
+			s.uploadErr(w, http.StatusBadRequest, "parsing MatrixMarket body: %v", err)
+			return
+		}
+	}
+	key := fbmpk.PlanFingerprint(a, s.cfg.PlanOptions...).String()
+
+	s.mu.Lock()
+	_, cached := s.matrices[key]
+	if !cached {
+		if len(s.matrices) >= s.cfg.maxMatrices() {
+			s.mu.Unlock()
+			s.count("upload", KindOverload)
+			writeErr(w, http.StatusInsufficientStorage, KindOverload,
+				fmt.Sprintf("matrix store at its %d-matrix limit", s.cfg.maxMatrices()))
+			return
+		}
+		s.matrices[key] = a
+	}
+	s.mu.Unlock()
+
+	s.count("upload", "ok")
+	writeJSON(w, http.StatusOK, UploadResponse{
+		Key: key, Rows: a.Rows, Cols: a.Cols, NNZ: len(a.Val), Cached: cached,
+	})
+}
+
+func (s *Server) uploadErr(w http.ResponseWriter, status int, format string, args ...any) {
+	s.count("upload", KindBadRequest)
+	writeErr(w, status, KindBadRequest, fmt.Sprintf(format, args...))
+}
+
+// handleList reports the resident matrices.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Key  string `json:"key"`
+		Rows int    `json:"rows"`
+		NNZ  int    `json:"nnz"`
+	}
+	s.mu.RLock()
+	out := make([]entry, 0, len(s.matrices))
+	for k, a := range s.matrices {
+		out = append(out, entry{Key: k, Rows: a.Rows, NNZ: len(a.Val)})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// timeout resolves a request's deadline from its timeout_ms, clamped
+// to the daemon maximum.
+func (s *Server) timeout(req *OpRequest) time.Duration {
+	d := s.cfg.defaultTimeout()
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS * float64(time.Millisecond))
+	}
+	if max := s.cfg.maxTimeout(); d > max {
+		d = max
+	}
+	return d
+}
+
+// handleOp serves one operation endpoint: admission, decode, deadline
+// propagation into the registry acquire and the plan's *Ctx entry
+// point, and outcome-classified encoding.
+func (s *Server) handleOp(op string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
+			return
+		}
+		if !s.adm.tryEnter() {
+			s.count(op, KindOverload)
+			// Shed immediately: admitted work finishes in about a request
+			// deadline at worst, so a constant small Retry-After is honest
+			// without tracking queue depth.
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, KindOverload,
+				fmt.Sprintf("admission limit of %d concurrent requests reached", s.adm.limit()))
+			return
+		}
+		defer s.adm.leave()
+
+		var req OpRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody())).Decode(&req); err != nil {
+			s.count(op, KindBadRequest)
+			writeErr(w, http.StatusBadRequest, KindBadRequest, fmt.Sprintf("decoding request: %v", err))
+			return
+		}
+		a := s.matrix(req.Matrix)
+		if a == nil {
+			s.count(op, KindNotFound)
+			writeErr(w, http.StatusNotFound, KindNotFound,
+				fmt.Sprintf("no matrix with key %q (upload it via POST /v1/matrix)", req.Matrix))
+			return
+		}
+
+		// The deadline covers plan acquisition (including a coalesced
+		// wait on another request's build) and the execution itself;
+		// r.Context() chains client disconnects in as cancellation.
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&req))
+		defer cancel()
+
+		plan, err := s.reg.AcquireCtx(ctx, a, s.cfg.PlanOptions...)
+		if err != nil {
+			s.opErr(w, op, err)
+			return
+		}
+		defer s.reg.Release(plan) //nolint:errcheck // release of a just-acquired plan
+
+		start := time.Now()
+		var out []float64
+		switch op {
+		case "mpk":
+			out, err = plan.MPKCtx(ctx, s.x0(&req, plan.N()), req.K)
+		case "sspmv":
+			out, err = plan.SSpMVCtx(ctx, req.Coeffs, s.x0(&req, plan.N()))
+		case "solve":
+			b := req.B
+			if b == nil {
+				b = DefaultVector(plan.N())
+			}
+			sweeps := req.Sweeps
+			if sweeps == 0 {
+				sweeps = 1
+			}
+			x := make([]float64, plan.N())
+			if err = plan.SymGSCtx(ctx, b, x, sweeps); err == nil {
+				out = x
+			}
+		default:
+			err = fmt.Errorf("unknown op %q", op)
+		}
+		elapsed := time.Since(start)
+		if err != nil {
+			s.opErr(w, op, err)
+			return
+		}
+
+		resp := OpResponse{Op: op, N: len(out), ElapsedNS: elapsed.Nanoseconds()}
+		switch req.Return {
+		case ReturnNone:
+		case ReturnChecksum:
+			resp.Checksum = Checksum(out)
+		case "", ReturnFull:
+			resp.Result = out
+		default:
+			s.count(op, KindBadRequest)
+			writeErr(w, http.StatusBadRequest, KindBadRequest,
+				fmt.Sprintf("unknown return shape %q", req.Return))
+			return
+		}
+		s.count(op, "ok")
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// x0 resolves the request's start vector.
+func (s *Server) x0(req *OpRequest, n int) []float64 {
+	if req.X0 != nil {
+		return req.X0
+	}
+	return DefaultVector(n)
+}
+
+// opErr maps an execution error onto status + kind. The error text is
+// passed through verbatim, so a deadline failure surfaces the wrapped
+// context.DeadlineExceeded message the *Ctx entry points produce.
+func (s *Server) opErr(w http.ResponseWriter, op string, err error) {
+	status, kind := http.StatusInternalServerError, KindInternal
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status, kind = http.StatusGatewayTimeout, KindDeadline
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is mostly for logs.
+		status, kind = http.StatusRequestTimeout, KindCanceled
+	case errors.Is(err, fbmpk.ErrClosed), errors.Is(err, fbmpk.ErrRegistryClosed):
+		status, kind = http.StatusServiceUnavailable, KindClosed
+	case errors.Is(err, fbmpk.ErrDimension), errors.Is(err, fbmpk.ErrBadPower),
+		errors.Is(err, fbmpk.ErrBadCoeffs), errors.Is(err, fbmpk.ErrBadSweeps),
+		errors.Is(err, fbmpk.ErrEmptyBlock), errors.Is(err, fbmpk.ErrNoSplit),
+		errors.Is(err, fbmpk.ErrInvalidMatrix), errors.Is(err, fbmpk.ErrNotSquare):
+		status, kind = http.StatusBadRequest, KindBadRequest
+	}
+	s.count(op, kind)
+	writeErr(w, status, kind, err.Error())
+}
+
+// count bumps the per-(op, outcome) request counter.
+func (s *Server) count(op, outcome string) {
+	key := op + "|" + outcome
+	c, ok := s.outcomes.Load(key)
+	if !ok {
+		c, _ = s.outcomes.LoadOrStore(key, new(atomic.Uint64))
+	}
+	c.(*atomic.Uint64).Add(1)
+}
+
+// handleMetrics renders the daemon's own counters followed by the
+// plan-cache families, as one Prometheus text document.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	type kv struct {
+		key string
+		n   uint64
+	}
+	var counts []kv
+	s.outcomes.Range(func(k, v any) bool {
+		counts = append(counts, kv{k.(string), v.(*atomic.Uint64).Load()})
+		return true
+	})
+	sort.Slice(counts, func(i, j int) bool { return counts[i].key < counts[j].key })
+
+	fmt.Fprintln(w, "# HELP fbmpkd_requests_total Finished requests by op and outcome.")
+	fmt.Fprintln(w, "# TYPE fbmpkd_requests_total counter")
+	for _, c := range counts {
+		op, outcome, _ := strings.Cut(c.key, "|")
+		fmt.Fprintf(w, "fbmpkd_requests_total{op=%q,outcome=%q} %d\n", op, outcome, c.n)
+	}
+	fmt.Fprintln(w, "# HELP fbmpkd_rejected_total Requests shed at the admission gate (429).")
+	fmt.Fprintln(w, "# TYPE fbmpkd_rejected_total counter")
+	fmt.Fprintf(w, "fbmpkd_rejected_total %d\n", s.adm.rejected.Load())
+	fmt.Fprintln(w, "# HELP fbmpkd_inflight Currently admitted requests.")
+	fmt.Fprintln(w, "# TYPE fbmpkd_inflight gauge")
+	fmt.Fprintf(w, "fbmpkd_inflight %d\n", s.adm.inFlight())
+	fmt.Fprintln(w, "# HELP fbmpkd_admission_limit Admission gate capacity.")
+	fmt.Fprintln(w, "# TYPE fbmpkd_admission_limit gauge")
+	fmt.Fprintf(w, "fbmpkd_admission_limit %d\n", s.adm.limit())
+	s.mu.RLock()
+	resident := len(s.matrices)
+	s.mu.RUnlock()
+	fmt.Fprintln(w, "# HELP fbmpkd_matrices Resident uploaded matrices.")
+	fmt.Fprintln(w, "# TYPE fbmpkd_matrices gauge")
+	fmt.Fprintf(w, "fbmpkd_matrices %d\n", resident)
+	fmt.Fprintln(w, "# HELP fbmpkd_uptime_seconds Seconds since daemon start.")
+	fmt.Fprintln(w, "# TYPE fbmpkd_uptime_seconds gauge")
+	fmt.Fprintf(w, "fbmpkd_uptime_seconds %g\n", time.Since(s.started).Seconds())
+
+	_ = expo.WriteRegistryMetrics(w, expo.RegistrySnapshot{Name: "registry", Stats: s.reg.Stats()})
+}
+
+// writeJSON encodes v as the response body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr encodes an ErrorResponse with the given status and kind.
+func writeErr(w http.ResponseWriter, status int, kind, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Kind: kind})
+}

@@ -1,0 +1,488 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fbmpk"
+	"fbmpk/internal/mmio"
+)
+
+// testMatrix is the small suite matrix every daemon test serves.
+func testMatrix(t *testing.T) *fbmpk.Matrix {
+	t.Helper()
+	a, err := fbmpk.GenerateSuiteMatrix("cant", 0.004, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+var testPlanOpts = []fbmpk.Option{fbmpk.WithThreads(2)}
+
+// newTestServer stands up a daemon over httptest with deterministic
+// plan options and returns it with its base URL.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg.PlanOptions = testPlanOpts
+	s := New(cfg)
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hts.Close()
+		s.Close()
+	})
+	return s, hts
+}
+
+// uploadTestMatrix posts the generator spec and returns the key.
+func uploadTestMatrix(t *testing.T, base string) string {
+	t.Helper()
+	spec, _ := json.Marshal(GeneratorSpec{Name: "cant", Scale: 0.004, Seed: 1})
+	resp, err := http.Post(base+"/v1/matrix", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: %s: %s", resp.Status, b)
+	}
+	var up UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Key == "" || up.Rows == 0 || up.NNZ == 0 {
+		t.Fatalf("implausible upload response: %+v", up)
+	}
+	return up.Key
+}
+
+// postOp sends one operation request and decodes either response shape.
+func postOp(t *testing.T, base, op string, req OpRequest) (int, *OpResponse, *ErrorResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/"+op, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		var out OpResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decoding OK body %q: %v", raw, err)
+		}
+		return resp.StatusCode, &out, nil
+	}
+	var eresp ErrorResponse
+	if err := json.Unmarshal(raw, &eresp); err != nil {
+		t.Fatalf("decoding error body %q: %v", raw, err)
+	}
+	return resp.StatusCode, nil, &eresp
+}
+
+func TestUploadGeneratorAndMatrixMarket(t *testing.T) {
+	_, hts := newTestServer(t, Config{})
+	key := uploadTestMatrix(t, hts.URL)
+
+	// Re-uploading the same spec must dedup onto the same key.
+	spec, _ := json.Marshal(GeneratorSpec{Name: "cant", Scale: 0.004, Seed: 1})
+	resp, err := http.Post(hts.URL+"/v1/matrix", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&again); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if again.Key != key || !again.Cached {
+		t.Fatalf("re-upload: key %s cached=%v, want %s cached=true", again.Key, again.Cached, key)
+	}
+
+	// The same matrix shipped as a MatrixMarket body lands on the same
+	// fingerprint: the key is content-derived, not transport-derived.
+	var mm bytes.Buffer
+	if err := mmio.Write(&mm, testMatrix(t)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(hts.URL+"/v1/matrix", "text/plain", &mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mmUp UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mmUp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mmUp.Key != key {
+		t.Fatalf("MatrixMarket upload key %s != generator key %s", mmUp.Key, key)
+	}
+
+	// Garbage bodies are 400s, not parse panics.
+	resp, err = http.Post(hts.URL+"/v1/matrix", "text/plain", strings.NewReader("not a matrix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: %s, want 400", resp.Status)
+	}
+}
+
+func TestOpsMatchDirectPlanBitwise(t *testing.T) {
+	_, hts := newTestServer(t, Config{})
+	key := uploadTestMatrix(t, hts.URL)
+
+	a := testMatrix(t)
+	plan, err := fbmpk.NewPlan(a, testPlanOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+
+	const k = 5
+	want, err := plan.MPK(DefaultVector(a.Rows), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, out, eresp := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: k})
+	if status != http.StatusOK {
+		t.Fatalf("mpk: %d %+v", status, eresp)
+	}
+	if len(out.Result) != len(want) {
+		t.Fatalf("mpk result length %d, want %d", len(out.Result), len(want))
+	}
+	for i := range want {
+		if out.Result[i] != want[i] {
+			t.Fatalf("mpk result[%d] = %v, want %v (bitwise)", i, out.Result[i], want[i])
+		}
+	}
+
+	// The checksum shape must digest exactly the full-result vector.
+	status, sum, _ := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: k, Return: ReturnChecksum})
+	if status != http.StatusOK {
+		t.Fatalf("mpk checksum request: %d", status)
+	}
+	if sum.Checksum != Checksum(want) {
+		t.Fatalf("checksum %s != direct %s", sum.Checksum, Checksum(want))
+	}
+	if sum.Result != nil {
+		t.Fatal("checksum response carried a full result")
+	}
+}
+
+func TestOpErrors(t *testing.T) {
+	_, hts := newTestServer(t, Config{})
+	key := uploadTestMatrix(t, hts.URL)
+
+	status, _, eresp := postOp(t, hts.URL, "mpk", OpRequest{Matrix: "nope", K: 1})
+	if status != http.StatusNotFound || eresp.Kind != KindNotFound {
+		t.Fatalf("unknown key: %d %+v", status, eresp)
+	}
+	status, _, eresp = postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: -3})
+	if status != http.StatusBadRequest || eresp.Kind != KindBadRequest {
+		t.Fatalf("bad power: %d %+v", status, eresp)
+	}
+	status, _, eresp = postOp(t, hts.URL, "sspmv", OpRequest{Matrix: key})
+	if status != http.StatusBadRequest || eresp.Kind != KindBadRequest {
+		t.Fatalf("empty coeffs: %d %+v", status, eresp)
+	}
+	resp, err := http.Post(hts.URL+"/v1/mpk", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("truncated JSON: %s, want 400", resp.Status)
+	}
+}
+
+// TestDeadlineExceeded pins the satellite contract: an expired
+// per-request deadline surfaces as 504 whose error text carries the
+// wrapped context.DeadlineExceeded message from the ctx-aware
+// acquire/execute path.
+func TestDeadlineExceeded(t *testing.T) {
+	_, hts := newTestServer(t, Config{})
+	key := uploadTestMatrix(t, hts.URL)
+
+	// Warm the plan so a second run exercises the execution path too.
+	if status, _, e := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: 2, Return: ReturnNone}); status != http.StatusOK {
+		t.Fatalf("warm mpk: %d %+v", status, e)
+	}
+
+	// 1ns effective deadline: expired before acquire, regardless of
+	// scheduling.
+	status, _, eresp := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: 2, TimeoutMS: 1e-6})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline: status %d, want 504 (%+v)", status, eresp)
+	}
+	if eresp.Kind != KindDeadline {
+		t.Fatalf("expired deadline: kind %q, want %q", eresp.Kind, KindDeadline)
+	}
+	if !strings.Contains(eresp.Error, "context deadline exceeded") {
+		t.Fatalf("error %q does not surface the wrapped context.DeadlineExceeded", eresp.Error)
+	}
+}
+
+// TestAdmissionSheds pins the backpressure contract deterministically:
+// with the single admission slot held, an op request is shed with
+// 429 + Retry-After and the overload error kind; releasing the slot
+// readmits.
+func TestAdmissionSheds(t *testing.T) {
+	s, hts := newTestServer(t, Config{MaxInFlight: 1})
+	key := uploadTestMatrix(t, hts.URL)
+
+	if !s.adm.tryEnter() {
+		t.Fatal("could not occupy the only admission slot")
+	}
+	body, _ := json.Marshal(OpRequest{Matrix: key, K: 1, Return: ReturnNone})
+	resp, err := http.Post(hts.URL+"/v1/mpk", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated gate: %s, want 429 (%s)", resp.Status, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	var eresp ErrorResponse
+	if err := json.Unmarshal(raw, &eresp); err != nil || eresp.Kind != KindOverload {
+		t.Fatalf("429 body %q, want kind %q", raw, KindOverload)
+	}
+	if got := s.adm.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+
+	s.adm.leave()
+	if status, _, e := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: 1, Return: ReturnNone}); status != http.StatusOK {
+		t.Fatalf("after release: %d %+v", status, e)
+	}
+}
+
+// TestGracefulDrain pins the SIGTERM contract at the http.Server
+// layer: Shutdown must let already-admitted solves finish, and their
+// responses must be bitwise-identical to direct Plan calls.
+func TestGracefulDrain(t *testing.T) {
+	cfg := Config{PlanOptions: testPlanOpts}
+	s := New(cfg)
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := NewHTTPServer(s.Handler())
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	key := uploadTestMatrix(t, base)
+	a := testMatrix(t)
+	plan, err := fbmpk.NewPlan(a, testPlanOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	const k = 24
+	want, err := plan.MPK(DefaultVector(a.Rows), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := Checksum(want)
+
+	// Warm the plan cache so in-flight requests spend their time in
+	// execution, not in a build.
+	if status, _, e := postOp(t, base, "mpk", OpRequest{Matrix: key, K: 1, Return: ReturnNone}); status != http.StatusOK {
+		t.Fatalf("warm: %d %+v", status, e)
+	}
+
+	const clients = 4
+	type result struct {
+		status int
+		sum    string
+	}
+	results := make(chan result, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			body, _ := json.Marshal(OpRequest{Matrix: key, K: k, Return: ReturnChecksum})
+			resp, err := http.Post(base+"/v1/mpk", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- result{status: -1}
+				return
+			}
+			defer resp.Body.Close()
+			var out OpResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				results <- result{status: -2}
+				return
+			}
+			results <- result{status: resp.StatusCode, sum: out.Checksum}
+		}()
+	}
+
+	// Wait until the requests are genuinely in flight, then drain. If
+	// the machine is fast enough that they all finished already, the
+	// drain still has to come back clean.
+	for i := 0; i < 1000 && s.adm.inFlight() == 0; i++ {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := Shutdown(hs, 30*time.Second); err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+
+	for i := 0; i < clients; i++ {
+		r := <-results
+		if r.status != http.StatusOK {
+			t.Fatalf("in-flight request %d: status %d, want 200 (drain must finish admitted work)", i, r.status)
+		}
+		if r.sum != wantSum {
+			t.Fatalf("in-flight request %d: checksum %s, want %s (bitwise vs direct plan)", i, r.sum, wantSum)
+		}
+	}
+
+	// The drained listener accepts nothing new.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("request succeeded after Shutdown")
+	}
+}
+
+// TestConcurrentClients hammers every op from many goroutines; run
+// under -race this is the serving-path data-race gate. Responses must
+// be either successes with the one bitwise-deterministic checksum per
+// op, or clean 429 sheds.
+func TestConcurrentClients(t *testing.T) {
+	s, hts := newTestServer(t, Config{MaxInFlight: 3})
+	key := uploadTestMatrix(t, hts.URL)
+
+	a := testMatrix(t)
+	plan, err := fbmpk.NewPlan(a, testPlanOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plan.Close()
+	const k = 4
+	wantMPK, err := plan.MPK(DefaultVector(a.Rows), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coeffs := []float64{1, 0.5, 0.25}
+	wantSS, err := plan.SSpMV(coeffs, DefaultVector(a.Rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSums := map[string]string{"mpk": Checksum(wantMPK), "sspmv": Checksum(wantSS)}
+
+	reqs := map[string]OpRequest{
+		"mpk":   {Matrix: key, K: k, Return: ReturnChecksum},
+		"sspmv": {Matrix: key, Coeffs: coeffs, Return: ReturnChecksum},
+		"solve": {Matrix: key, Sweeps: 2, Return: ReturnChecksum},
+	}
+	ops := []string{"mpk", "sspmv", "solve"}
+
+	const clients, iters = 8, 6
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		shed     int
+		failures []string
+		solveSum string
+	)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				op := ops[(c+i)%len(ops)]
+				body, _ := json.Marshal(reqs[op])
+				resp, err := http.Post(hts.URL+"/v1/"+op, "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					failures = append(failures, fmt.Sprintf("%s: transport: %v", op, err))
+					mu.Unlock()
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var out OpResponse
+					if err := json.Unmarshal(raw, &out); err != nil {
+						failures = append(failures, fmt.Sprintf("%s: decode: %v", op, err))
+						break
+					}
+					if want, fixed := wantSums[op]; fixed && out.Checksum != want {
+						failures = append(failures, fmt.Sprintf("%s: checksum %s, want %s", op, out.Checksum, want))
+					}
+					if op == "solve" {
+						if solveSum == "" {
+							solveSum = out.Checksum
+						} else if out.Checksum != solveSum {
+							failures = append(failures, fmt.Sprintf("solve: checksum %s, want %s", out.Checksum, solveSum))
+						}
+					}
+				case http.StatusTooManyRequests:
+					shed++
+				default:
+					failures = append(failures, fmt.Sprintf("%s: unexpected status %d: %s", op, resp.StatusCode, raw))
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	if len(failures) > 0 {
+		t.Fatalf("%d failures, first: %s", len(failures), failures[0])
+	}
+	t.Logf("concurrent clients: %d requests, %d shed at the gate", clients*iters, shed)
+	if got := s.adm.rejected.Load(); int(got) != shed {
+		t.Fatalf("rejected counter %d != observed sheds %d", got, shed)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, hts := newTestServer(t, Config{})
+	key := uploadTestMatrix(t, hts.URL)
+	if status, _, e := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: 1, Return: ReturnNone}); status != http.StatusOK {
+		t.Fatalf("mpk: %d %+v", status, e)
+	}
+
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`fbmpkd_requests_total{op="mpk",outcome="ok"} 1`,
+		`fbmpkd_requests_total{op="upload",outcome="ok"} 1`,
+		"fbmpkd_inflight 0",
+		"fbmpkd_matrices 1",
+		"fbmpk_cache_misses_total",
+		"fbmpk_cache_canceled_total",
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+}

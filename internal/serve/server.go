@@ -1,0 +1,58 @@
+// Package serve implements the fbmpkd network front end: HTTP/JSON
+// handlers that accept matrix uploads keyed by plan fingerprint and
+// serve MPK/SSpMV/solve requests against registry-backed plans, with
+// per-request deadlines propagated to the *Ctx entry points, a
+// load-shedding admission gate (429 + Retry-After), and the existing
+// debug surface mounted alongside. It also owns the one hardened
+// http.Server construction every HTTP surface in this repo goes
+// through, so none of them regrows the bare `go http.Serve(ln, mux)`
+// pattern that served with no timeouts and leaked its listener with
+// no shutdown path.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Timeouts applied to every server built by NewHTTPServer.
+const (
+	// DefaultReadHeaderTimeout bounds how long a connection may sit
+	// half-open before sending its request head, so slow-loris peers
+	// cannot pin accept goroutines forever.
+	DefaultReadHeaderTimeout = 10 * time.Second
+	// DefaultIdleTimeout reclaims abandoned keep-alive connections.
+	DefaultIdleTimeout = 120 * time.Second
+)
+
+// NewHTTPServer wraps handler in an http.Server hardened for
+// long-lived use: a header-read deadline and an idle timeout, and a
+// Shutdown path (use Shutdown below, or http.Server.Shutdown
+// directly) instead of leaking the listener on exit. There is
+// deliberately no whole-request write timeout — solve requests have
+// per-request deadlines enforced inside the handler, and debug
+// endpoints (pprof profiles, trace downloads) legitimately stream for
+// tens of seconds.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}
+
+// Shutdown gracefully drains srv: new connections are refused, idle
+// connections close, and in-flight requests get up to timeout to
+// finish before the server is forcibly closed. Returns nil on a clean
+// drain; on timeout the remaining connections are dropped and the
+// context error is returned.
+func Shutdown(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close() //nolint:errcheck // forced close after failed drain
+		return err
+	}
+	return nil
+}

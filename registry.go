@@ -22,8 +22,12 @@ import (
 //
 // Acquire on a cached key returns the existing plan immediately,
 // skipping preprocessing entirely; concurrent Acquires of the same
-// key coalesce onto a single build (singleflight). Release hands the
-// reference back — do not call Plan.Close on an acquired plan.
+// key coalesce onto a single build (singleflight). AcquireCtx is the
+// deadline-aware variant serving front ends should use: a caller
+// coalesced onto another caller's slow build abandons the wait when
+// its context fires (the build itself completes and stays cached for
+// the remaining waiters). Release hands the reference back — do not
+// call Plan.Close on an acquired plan.
 // Eviction (capacity pressure or registry Close) defers the actual
 // plan teardown until the last reference drains, so a cached plan can
 // never be closed out from under a caller still using it.
@@ -32,7 +36,7 @@ import (
 type Registry = registry.Registry
 
 // RegistryStats is a point-in-time snapshot of a Registry's counters:
-// cache traffic (Hits, Misses, Coalesced), build outcomes (Builds,
+// cache traffic (Hits, Misses, Coalesced, Canceled), build outcomes (Builds,
 // BuildFailures, cumulative BuildTime), Evictions, and occupancy
 // (Entries, Live, Capacity). Its HitRate method reports the fraction
 // of Acquires that did not trigger a build.
