@@ -59,6 +59,16 @@ go build -o /tmp/fbmpk_ci_bench ./cmd/fbmpkbench
   -json /tmp/fbmpk_ci_tune.json > /dev/null
 /tmp/fbmpk_ci_bench -check /tmp/fbmpk_ci_tune.json
 
+# Mutable matrices: the epoch/RCU churn audit under -race (concurrent
+# solvers must see bitwise epoch-pure results while updaters flip the
+# values), then the streaming economics gate — the in-place value swap
+# must be at least 5x cheaper than the full-plan rebuild it replaces.
+go test -race -run 'TestUpdateChurnEpochConsistency' -count 1 .
+go test -race ./internal/core/ -run 'TestUpdateValues' -count 1
+/tmp/fbmpk_ci_bench -exp streaming -matrices cant,G3_circuit -scale 0.02 -runs 3 -k 4 \
+  -json /tmp/fbmpk_ci_stream.json > /dev/null
+/tmp/fbmpk_ci_bench -check /tmp/fbmpk_ci_stream.json
+
 go build -o /tmp/fbmpk_ci_solve ./cmd/solve
 rm -f /tmp/fbmpk_ci_solve.log
 /tmp/fbmpk_ci_solve -matrix cant -scale 0.003 -method cg -threads 2 \

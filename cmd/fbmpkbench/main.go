@@ -164,7 +164,7 @@ func checkReport(path string) error {
 				path, label, m.ReadsPerSpMV)
 		}
 	}
-	if fb == 0 && len(rep.Tunings) == 0 {
+	if fb == 0 && len(rep.Tunings) == 0 && len(rep.Streams) == 0 {
 		return fmt.Errorf("%s: report contains no FB-engine plan snapshots (run with -json and an experiment that records plans, e.g. fig7)", path)
 	}
 	// Tuning records (autotune experiment): the tuner must never select
@@ -195,6 +195,20 @@ func checkReport(path string) error {
 				return fmt.Errorf("%s: tuning %q selected %v measured at %dns, slower than CSR's %dns",
 					path, tr.Matrix, winner.Backend, winner.SampleNs, csr.SampleNs)
 			}
+		}
+	}
+	// Stream records (streaming experiment): the point of the mutable
+	// plan API is that refreshing values is much cheaper than rebuilding
+	// the plan — require the in-place epoch swap to be at least 5x
+	// faster than a fresh NewPlan on the same matrix.
+	for _, sr := range rep.Streams {
+		if sr.Update <= 0 || sr.Rebuild <= 0 {
+			return fmt.Errorf("%s: stream %q has non-positive timings (update %v, rebuild %v)",
+				path, sr.Matrix, sr.Update, sr.Rebuild)
+		}
+		if sr.Rebuild < 5*sr.Update {
+			return fmt.Errorf("%s: stream %q: in-place update %v vs rebuild %v (%.2fx): want >= 5x",
+				path, sr.Matrix, sr.Update, sr.Rebuild, float64(sr.Rebuild)/float64(sr.Update))
 		}
 	}
 	// Registry snapshots (serving-cache): the cache must have been

@@ -14,6 +14,13 @@
 //	     -d '{"name":"cant","scale":0.01,"seed":1}'
 //	curl -s localhost:8707/v1/mpk \
 //	     -d '{"matrix":"<key>","k":5,"return":"checksum"}'
+//	curl -s localhost:8707/v1/matrix/<key>/values --data-binary @new.mtx
+//
+// The wire contract is versioned: endpoints live under /v1/, every
+// response carries "api_version", and legacy unversioned paths answer
+// 308 redirects to their /v1 homes. A values POST updates the cached
+// plan in place when the structure is unchanged (epoch/RCU swap) and
+// rebuilds otherwise.
 //
 // See the README "Serving over the network" section for the full
 // walkthrough and cmd/fbmpkload for the load harness.

@@ -31,13 +31,32 @@
 //
 // # Serving
 //
-// A Plan is an immutable preprocessed core after construction: any
-// number of goroutines may share one plan concurrently. Executions are
-// admitted through a fair FIFO gate, per-call scratch comes from an
-// internal workspace pool, the *Ctx method variants (MPKCtx, SSpMVCtx,
-// ...) honor context cancellation at pipeline barriers, Plan.Close
+// A Plan's preprocessed core is shared safely by any number of
+// goroutines. Executions are admitted through a fair FIFO gate,
+// per-call scratch comes from an internal workspace pool, Plan.Close
 // drains in-flight work and fails late arrivals with ErrClosed, and
 // Plan.Metrics exposes traffic and latency counters (expvar-ready).
+//
+// The context-accepting entry points — MPKCtx, SSpMVCtx, SymGSCtx,
+// MPKMultiCtx, SSpMVMultiCtx, ... — are the primary execution API:
+// they honor deadlines and cancellation at pipeline barriers, which
+// any caller with a request deadline (HTTP handlers, job runners)
+// needs. The context-free forms (MPK, SSpMV, ...) are thin wrappers
+// over context.Background() kept for scripts and tests where no
+// deadline exists.
+//
+// # Mutable matrices
+//
+// When the matrix's values change but its sparsity pattern does not —
+// PageRank on an evolving graph, time-stepping with changing
+// coefficients — Plan.UpdateValues swaps in the new values without
+// re-running preprocessing: the permutation, split, parallel schedule,
+// and tuned backend are all structure-determined and stay. Updates are
+// epoch/RCU-published: executions already admitted finish bitwise on
+// the values they started with, later admissions see the new values.
+// Registry.UpdateValues is the cache-aware form, re-keying the cached
+// plan to the new content fingerprint and falling back to a full
+// rebuild on a structure delta.
 //
 // Subpackages under internal implement the substrates: sparse formats
 // (CSR, ELLPACK, SELL-C-sigma), MatrixMarket I/O, the synthetic
@@ -88,6 +107,11 @@ var (
 	// ErrClosed reports a call on a plan after Close: the execution was
 	// rejected at the admission gate, not partially run.
 	ErrClosed = core.ErrClosed
+	// ErrStructureChanged reports Plan.UpdateValues with a matrix whose
+	// sparsity pattern differs from the one the plan was built on; the
+	// plan is left untouched (Registry.UpdateValues falls back to a
+	// rebuild instead).
+	ErrStructureChanged = core.ErrStructureChanged
 )
 
 // Triplets accumulates (row, col, value) entries and converts them to
@@ -298,15 +322,6 @@ func MPKMulti(a *Matrix, xs [][]float64, k int, opts ...Option) ([][]float64, er
 	}
 	defer p.Close()
 	return p.MPKMulti(xs, k)
-}
-
-// RunMulti computes A^k x_j for a block of right-hand sides with a
-// one-shot plan.
-//
-// Deprecated: RunMulti was renamed to MPKMulti to match the Plan
-// method; this alias forwards to it.
-func RunMulti(a *Matrix, xs [][]float64, k int, opts ...Option) ([][]float64, error) {
-	return MPKMulti(a, xs, k, opts...)
 }
 
 // SSpMVMulti computes combo_j = sum coeffs[i] * A^i * x_j for every

@@ -37,6 +37,7 @@ func Registry() []Experiment {
 		{"autotune", "Backend autotuner verdicts + autotuned vs CSR at full scale", Autotune},
 		{"serving", "Serving: concurrent callers on one shared plan + metrics", Serving},
 		{"serving-cache", "Serving: plan registry amortization + singleflight coalescing", ServingCache},
+		{"streaming", "Streaming: in-place value updates vs plan rebuilds across update:solve ratios", Streaming},
 	}
 }
 
@@ -75,9 +76,10 @@ func Run(w io.Writer, cfg Config, names []string) error {
 		case "paper":
 			for _, e := range Registry() {
 				// Only the paper's own tables/figures: ablations, serving,
-				// and the autotuner study are opt-in.
+				// the autotuner study, and the streaming-update study are
+				// opt-in.
 				if !strings.HasPrefix(e.Name, "abl-") && !strings.HasPrefix(e.Name, "serving") &&
-					e.Name != "autotune" {
+					e.Name != "autotune" && e.Name != "streaming" {
 					want[e.Name] = true
 				}
 			}

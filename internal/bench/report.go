@@ -25,6 +25,7 @@ type Report struct {
 	Plans         []PlanRecord       `json:"plans,omitempty"`
 	Registries    []RegistryRecord   `json:"registries,omitempty"`
 	Tunings       []TuneRecord       `json:"tunings,omitempty"`
+	Streams       []StreamRecord     `json:"streams,omitempty"`
 
 	mu sync.Mutex
 }
@@ -75,6 +76,21 @@ type TuneRecord struct {
 	Decision   core.TuneDecision `json:"decision"`
 	CSRTime    time.Duration     `json:"csr_time_ns"`
 	AutoTime   time.Duration     `json:"auto_time_ns"`
+}
+
+// StreamRecord is one matrix's streaming-update economics: the cost of
+// an in-place value swap (Registry.UpdateValues on unchanged
+// structure), the cost of the full plan rebuild it replaces, and the
+// steady-state solve time for context. The CI gate asserts
+// Rebuild >= 5x Update — the amortization claim that makes mutable
+// matrices worthwhile.
+type StreamRecord struct {
+	Experiment string        `json:"experiment"`
+	Matrix     string        `json:"matrix"`
+	Update     time.Duration `json:"update_ns"`
+	Rebuild    time.Duration `json:"rebuild_ns"`
+	Solve      time.Duration `json:"solve_ns"`
+	Speedup    float64       `json:"speedup"`
 }
 
 // NewReport starts a report for the given config.
@@ -172,6 +188,24 @@ func (c Config) RecordTuning(experiment, matrix string, dec core.TuneDecision, c
 	c.Report.Tunings = append(c.Report.Tunings, TuneRecord{
 		Experiment: experiment, Matrix: matrix, Decision: dec,
 		CSRTime: csrTime, AutoTime: autoTime,
+	})
+}
+
+// RecordStream records one matrix's update-vs-rebuild timings; no-op
+// when the config carries no report.
+func (c Config) RecordStream(experiment, matrix string, update, rebuild, solve time.Duration) {
+	if c.Report == nil {
+		return
+	}
+	speedup := 0.0
+	if update > 0 {
+		speedup = float64(rebuild) / float64(update)
+	}
+	c.Report.mu.Lock()
+	defer c.Report.mu.Unlock()
+	c.Report.Streams = append(c.Report.Streams, StreamRecord{
+		Experiment: experiment, Matrix: matrix,
+		Update: update, Rebuild: rebuild, Solve: solve, Speedup: speedup,
 	})
 }
 

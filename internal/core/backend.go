@@ -103,6 +103,12 @@ type execBackend interface {
 	spmvRange(x, y []float64, lo, hi int)
 	spmm(x, y []float64, nv int)
 	memoryBytes() int64
+	// withValues builds a backend holding a's values in the receiver's
+	// layout, sharing every structure array (a must be the new
+	// execution-order matrix with the structure the receiver was built
+	// from). The receiver is not modified — UpdateValues publishes the
+	// result as a new epoch while old-epoch readers keep the original.
+	withValues(a *sparse.CSR) execBackend
 }
 
 // csrBackend is the baseline: it delegates to the tuned sparse CSR
@@ -120,6 +126,7 @@ func (b csrBackend) spmv(x, y []float64)                  { sparse.SpMV(b.a, x, 
 func (b csrBackend) spmvRange(x, y []float64, lo, hi int) { sparse.SpMVRange(b.a, x, y, lo, hi) }
 func (b csrBackend) spmm(x, y []float64, nv int)          { sparse.SpMM(b.a, x, y, nv) }
 func (b csrBackend) memoryBytes() int64                   { return b.a.MemoryBytes() }
+func (b csrBackend) withValues(a *sparse.CSR) execBackend { return csrBackend{a: a} }
 
 // sellBackend executes on a SELL-C-sigma conversion of the plan's
 // execution-order matrix. Ranges address storage rows (the sigma-
@@ -158,6 +165,9 @@ func (b *sellBackend) spmv(x, y []float64)                  { b.s.SpMV(x, y) }
 func (b *sellBackend) spmvRange(x, y []float64, lo, hi int) { b.s.SpMVRange(x, y, lo, hi) }
 func (b *sellBackend) spmm(x, y []float64, nv int)          { b.s.SpMM(x, y, nv) }
 func (b *sellBackend) memoryBytes() int64                   { return b.s.MemoryBytes() }
+func (b *sellBackend) withValues(a *sparse.CSR) execBackend {
+	return &sellBackend{s: b.s.WithValues(a), nnz: b.nnz}
+}
 
 // bsrBackend executes on a block-CSR conversion of the plan's
 // execution-order matrix.
@@ -192,6 +202,9 @@ func (e *bsrBackend) spmv(x, y []float64)                  { e.b.SpMV(x, y) }
 func (e *bsrBackend) spmvRange(x, y []float64, lo, hi int) { e.b.SpMVRange(x, y, lo, hi) }
 func (e *bsrBackend) spmm(x, y []float64, nv int)          { e.b.SpMM(x, y, nv) }
 func (e *bsrBackend) memoryBytes() int64                   { return e.b.MemoryBytes() }
+func (e *bsrBackend) withValues(a *sparse.CSR) execBackend {
+	return &bsrBackend{b: e.b.WithValues(a), nnz: e.nnz}
+}
 
 // buildBackend materializes the execution backend a decision names,
 // converting the execution-order matrix when the format is not CSR.
@@ -206,12 +219,12 @@ func buildBackend(a *sparse.CSR, dec TuneDecision) execBackend {
 	}
 }
 
-// initBackend resolves the plan's execution backend from the options:
-// the forced formats build directly (BSR detecting its block size from
-// the structure when none is given), BackendAuto consults an injected
-// registry verdict or runs the autotuner, and the default CSR wraps
-// the execution-order matrix with zero extra storage.
-func (p *Plan) initBackend(opt Options) error {
+// initBackend resolves the plan's execution backend from the options
+// and the execution-order matrix a: the forced formats build directly
+// (BSR detecting its block size from the structure when none is
+// given), BackendAuto consults an injected registry verdict or runs
+// the autotuner, and the default CSR wraps a with zero extra storage.
+func (p *Plan) initBackend(opt Options, a *sparse.CSR) (execBackend, error) {
 	start := time.Now()
 	var dec TuneDecision
 	switch opt.Backend {
@@ -223,7 +236,7 @@ func (p *Plan) initBackend(opt Options) error {
 	case BackendBSR:
 		blk := opt.BSRBlock
 		if blk <= 0 {
-			blk = DetectBSRBlock(p.a)
+			blk = DetectBSRBlock(a)
 		}
 		dec = TuneDecision{Backend: BackendBSR, Block: blk}
 	case BackendAuto:
@@ -232,16 +245,16 @@ func (p *Plan) initBackend(opt Options) error {
 			dec.FromCache = true
 			dec.Samples = 0
 		} else {
-			dec = Autotune(p.a)
+			dec = Autotune(a)
 		}
 		p.stats.Tune = &dec
 	default:
-		return fmt.Errorf("core: NewPlan: unknown backend kind %d: %w", int(opt.Backend), ErrBadBackend)
+		return nil, fmt.Errorf("core: NewPlan: unknown backend kind %d: %w", int(opt.Backend), ErrBadBackend)
 	}
-	p.be = buildBackend(p.a, dec)
+	be := buildBackend(a, dec)
 	p.stats.Backend = dec.Backend.String()
 	p.stats.TuneTime = time.Since(start)
-	return nil
+	return be, nil
 }
 
 // sellParams resolves the SELL chunk/sigma knobs to their defaults.

@@ -32,6 +32,11 @@ var (
 	ErrClosed = errors.New("plan is closed")
 	// ErrBadBackend reports an unknown BackendKind in the options.
 	ErrBadBackend = errors.New("unknown execution backend")
+	// ErrStructureChanged reports an UpdateValues call whose matrix has
+	// a different sparsity pattern than the one the plan was built for;
+	// the caller must rebuild (Registry.UpdateValues does so
+	// automatically).
+	ErrStructureChanged = errors.New("matrix structure changed")
 )
 
 // errCanceledRun is the internal signal that an execution observed its

@@ -70,19 +70,22 @@ func (f *FBParallel) Run(x0 []float64, k int, btb bool, coeffs []float64) (xk, c
 // every completed power, on worker 0, with all other workers parked at
 // a barrier (so the scratch iterate is stable while observed).
 func (f *FBParallel) RunCapture(x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
-	return f.runCapture(nil, nil, x0, k, btb, coeffs, onIterate)
+	return f.runCapture(f.tri, nil, nil, x0, k, btb, coeffs, onIterate)
 }
 
 // runCapture is RunCapture with an externally supplied pipeline state
-// (nil allocates) and run environment. Cancellation protocol: each
-// worker polls env's flag after every color barrier; a worker that
-// observes it switches to skip mode — it stops computing but keeps
-// crossing every barrier of the schedule, so workers that read the
-// flag at different boundaries can never deadlock each other, and the
-// pool is immediately reusable afterwards. If the flag was set the run
-// returns errCanceledRun and the output buffers are unspecified.
-func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
-	n := f.tri.N
+// (nil allocates) and run environment, executing on tri — any split
+// sharing the structure f was scheduled for (the plan passes its
+// pinned epoch's split, so value updates never touch a run in flight).
+// Cancellation protocol: each worker polls env's flag after every
+// color barrier; a worker that observes it switches to skip mode — it
+// stops computing but keeps crossing every barrier of the schedule, so
+// workers that read the flag at different boundaries can never
+// deadlock each other, and the pool is immediately reusable
+// afterwards. If the flag was set the run returns errCanceledRun and
+// the output buffers are unspecified.
+func (f *FBParallel) runCapture(tri *sparse.Triangular, st *fbState, env *runEnv, x0 []float64, k int, btb bool, coeffs []float64, onIterate IterateFunc) (xk, combo []float64, err error) {
+	n := tri.N
 	if len(x0) != n {
 		return nil, nil, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), n, ErrDimension)
 	}
@@ -156,7 +159,7 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 		clock.endCompute(phaseHead, -1)
 		f.bar.Wait()
 		clock.endWait(phaseHead, -1)
-		sparse.SpMVRange(f.tri.U, x0, st.tmp, f.headBounds[id], f.headBounds[id+1])
+		sparse.SpMVRange(tri.U, x0, st.tmp, f.headBounds[id], f.headBounds[id+1])
 		clock.endCompute(phaseHead, -1)
 		f.bar.Wait()
 		clock.endWait(phaseHead, -1)
@@ -170,9 +173,9 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 				if !skip {
 					lo, hi := f.rowRange(c, id)
 					if btb {
-						fbForwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
+						fbForwardBtBRange(tri, st.xy, st.tmp, lo, hi, last)
 					} else {
-						fbForwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+						fbForwardSepRange(tri, st.a, st.b, st.tmp, lo, hi, last)
 					}
 				}
 				clock.endCompute(phaseForward, int32(c))
@@ -208,9 +211,9 @@ func (f *FBParallel) runCapture(st *fbState, env *runEnv, x0 []float64, k int, b
 				if !skip {
 					lo, hi := f.rowRange(c, id)
 					if btb {
-						fbBackwardBtBRange(f.tri, st.xy, st.tmp, lo, hi, last)
+						fbBackwardBtBRange(tri, st.xy, st.tmp, lo, hi, last)
 					} else {
-						fbBackwardSepRange(f.tri, st.a, st.b, st.tmp, lo, hi, last)
+						fbBackwardSepRange(tri, st.a, st.b, st.tmp, lo, hi, last)
 					}
 				}
 				clock.endCompute(phaseBackward, int32(c))

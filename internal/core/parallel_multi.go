@@ -39,15 +39,17 @@ func NewFBParallelMultiFrom(tri *sparse.Triangular, ord *reorder.ABMCResult, poo
 // or length k+1) additionally accumulates the SSpMV combination for
 // every vector.
 func (f *FBParallelMulti) Run(xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
-	return f.run(nil, nil, xs, k, btb, coeffs)
+	return f.run(f.fb.tri, nil, nil, xs, k, btb, coeffs)
 }
 
 // run is Run with an externally supplied batched state (nil allocates)
-// and run environment; the cancellation protocol is the skip-mode
+// and run environment, executing on tri — any split sharing the
+// structure the executor was scheduled for (see
+// FBParallel.runCapture); the cancellation protocol is the skip-mode
 // scheme of FBParallel.runCapture.
-func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
+func (f *FBParallelMulti) run(tri *sparse.Triangular, st *fbMultiState, env *runEnv, xs [][]float64, k int, btb bool, coeffs []float64) (xks, combos [][]float64, err error) {
 	fb := f.fb
-	n, m, err := checkMulti(fb.tri.N, xs, k, coeffs)
+	n, m, err := checkMulti(tri.N, xs, k, coeffs)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -96,7 +98,7 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 		fb.bar.Wait()
 		clock.endWait(phaseHead, -1)
 		// Head: tmp = U * X0 over the nnz-balanced row partition.
-		sparse.SpMMRange(fb.tri.U, st.x0b, st.tmp, m, fb.headBounds[id], fb.headBounds[id+1])
+		sparse.SpMMRange(tri.U, st.x0b, st.tmp, m, fb.headBounds[id], fb.headBounds[id+1])
 		clock.endCompute(phaseHead, -1)
 		fb.bar.Wait()
 		clock.endWait(phaseHead, -1)
@@ -110,9 +112,9 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 				if !skip {
 					lo, hi := fb.rowRange(c, id)
 					if btb {
-						fbForwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
+						fbForwardBtBMultiRange(tri, st.xy, st.tmp, m, lo, hi, last)
 					} else {
-						fbForwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+						fbForwardSepMultiRange(tri, st.a, st.b, st.tmp, m, lo, hi, last)
 					}
 				}
 				clock.endCompute(phaseForward, int32(c))
@@ -140,9 +142,9 @@ func (f *FBParallelMulti) run(st *fbMultiState, env *runEnv, xs [][]float64, k i
 				if !skip {
 					lo, hi := fb.rowRange(c, id)
 					if btb {
-						fbBackwardBtBMultiRange(fb.tri, st.xy, st.tmp, m, lo, hi, last)
+						fbBackwardBtBMultiRange(tri, st.xy, st.tmp, m, lo, hi, last)
 					} else {
-						fbBackwardSepMultiRange(fb.tri, st.a, st.b, st.tmp, m, lo, hi, last)
+						fbBackwardSepMultiRange(tri, st.a, st.b, st.tmp, m, lo, hi, last)
 					}
 				}
 				clock.endCompute(phaseBackward, int32(c))

@@ -113,28 +113,50 @@ func DefaultOptions(threads int) Options {
 // MPK invocations (Section V-F): the L+D+U split, and for parallel
 // FBMPK the ABMC reorder.
 //
-// After construction a Plan is an immutable preprocessed core — the
-// execution-order matrix, the triangular split, and the ABMC schedule
-// are never written again. Per-call scratch lives in pooled workspaces,
-// so a single Plan is safe for concurrent use by any number of
-// goroutines; executions are admitted through a fair FIFO gate (see
-// Options.MaxInFlight). Close drains in-flight executions and fails
-// later calls with ErrClosed.
+// After construction the structural products of preprocessing — the
+// permutation, the ABMC schedule, the CSR/split/backend index arrays —
+// are never written again. The value-bearing containers live in an
+// epoch (see planEpoch) that UpdateValues can atomically replace with
+// one sharing every structure array; executions load the epoch exactly
+// once at admission and run to completion on it, so in-flight calls
+// are bitwise-unaffected by a concurrent update. Per-call scratch
+// lives in pooled workspaces, so a single Plan is safe for concurrent
+// use by any number of goroutines; executions are admitted through a
+// fair FIFO gate (see Options.MaxInFlight). Close drains in-flight
+// executions and fails later calls with ErrClosed.
 type Plan struct {
 	opt  Options
 	n    int
-	a    *sparse.CSR         // matrix in execution order (permuted if ABMC)
-	be   execBackend         // full-matrix kernel backend over a
-	tri  *sparse.Triangular  // split of a (FB engines)
 	ord  *reorder.ABMCResult // non-nil when ABMC was applied
 	pool *parallel.Pool      // non-nil when Threads > 1
 	fb   *FBParallel         // non-nil for parallel FB
 	fbm  *FBParallelMulti    // batched executor over fb
 	sym  *SymGSParallel      // parallel smoother (pool + ABMC plans)
 
+	// state is the current value epoch. Readers load it once per
+	// execution (in exec, after gate admission); UpdateValues publishes
+	// a successor under updateMu. Never nil after NewPlan returns.
+	state atomic.Pointer[planEpoch]
+
+	// srcRowPtr/srcColIdx alias the structure arrays of the ORIGINAL
+	// (unpermuted) input matrix — the reference UpdateValues compares a
+	// candidate's structure against. Zero extra storage: they share the
+	// caller's arrays.
+	srcRowPtr []int64
+	srcColIdx []int32
+
+	// updateMu serializes UpdateValues calls; valMap (built lazily
+	// under it, only for reordered plans) maps each execution-order
+	// value slot to its source index in the original value array.
+	updateMu    sync.Mutex
+	valMap      []int64
+	updates     atomic.Uint64
+	updateNanos atomic.Int64
+
 	// Nonzero counts of the execution-order matrix and its split, the
 	// denominators of the traffic accounting (nnzD counts explicitly
-	// stored diagonal entries: nnzA - nnzL - nnzU).
+	// stored diagonal entries: nnzA - nnzL - nnzU). Structure-only, so
+	// constant across epochs.
 	nnzA, nnzL, nnzU, nnzD uint64
 
 	gate     *parallel.Gate
@@ -145,6 +167,19 @@ type Plan struct {
 	closed   chan struct{} // closed once teardown completes
 
 	stats PlanStats
+}
+
+// planEpoch bundles the value-bearing containers of one matrix-value
+// generation: the execution-order matrix, the kernel backend over it,
+// and the L+D+U split (nil for the standard engine). Successive epochs
+// share every structure array (RowPtr, ColIdx, chunk/block maps, the
+// permutation) and differ only in value payloads, so an epoch swap is
+// O(nnz) allocation, never a re-preprocess.
+type planEpoch struct {
+	seq uint64
+	a   *sparse.CSR        // matrix in execution order (permuted if ABMC)
+	be  execBackend        // full-matrix kernel backend over a
+	tri *sparse.Triangular // split of a (FB engines)
 }
 
 // PlanStats reports the one-off preprocessing cost of building a plan
@@ -178,6 +213,12 @@ type PlanStats struct {
 	// with BackendAuto. FromCache marks a verdict replayed from the
 	// registry; Samples counts the micro-benchmark invocations paid.
 	Tune *TuneDecision
+	// Updates counts completed UpdateValues epoch swaps; UpdateTime is
+	// their cumulative wall time. An update never re-tunes, re-orders,
+	// or re-splits, so BuildTime and TuneTime stay the one-off costs of
+	// NewPlan.
+	Updates    uint64
+	UpdateTime time.Duration
 }
 
 // NewPlan prepares an executor for the square matrix a. The input
@@ -197,7 +238,11 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 		return nil, fmt.Errorf("core: NewPlan: %w", sparse.ErrNotSquare)
 	}
 	buildStart := time.Now()
-	p := &Plan{opt: opt, n: a.Rows, a: a, closed: make(chan struct{})}
+	p := &Plan{
+		opt: opt, n: a.Rows, closed: make(chan struct{}),
+		srcRowPtr: a.RowPtr, srcColIdx: a.ColIdx,
+	}
+	ea := a // matrix in execution order (replaced if ABMC applies)
 	parallelRun := opt.Threads > 1
 	needABMC := opt.ForceABMC || (parallelRun && opt.Engine == EngineForwardBackward)
 
@@ -258,47 +303,50 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 		p.stats.NumColors = ord.NumColors
 		p.stats.NumBlocks = ord.NumBlocks()
 		p.ord = ord
-		p.a = b
+		ea = b
 	}
+	var tri *sparse.Triangular
 	if opt.Engine == EngineForwardBackward {
 		start := time.Now()
-		tri, err := sparse.SplitPool(p.a, runner)
+		t, err := sparse.SplitPool(ea, runner)
 		if err != nil {
 			return fail(err)
 		}
 		p.stats.SplitTime = time.Since(start)
-		p.tri = tri
+		tri = t
 	}
-	p.nnzA = uint64(len(p.a.Val))
-	if p.tri != nil {
-		p.nnzL = uint64(len(p.tri.L.Val))
-		p.nnzU = uint64(len(p.tri.U.Val))
+	p.nnzA = uint64(len(ea.Val))
+	if tri != nil {
+		p.nnzL = uint64(len(tri.L.Val))
+		p.nnzU = uint64(len(tri.U.Val))
 		p.nnzD = p.nnzA - p.nnzL - p.nnzU
 	}
 	// The backend resolves after reordering so the autotuner samples
 	// (and the format conversion covers) the execution-order matrix.
-	if err := p.initBackend(opt); err != nil {
+	be, err := p.initBackend(opt, ea)
+	if err != nil {
 		return fail(err)
 	}
 	if p.pool != nil {
 		if opt.Engine == EngineForwardBackward {
-			fb, err := NewFBParallel(p.tri, p.ord, p.pool)
+			fb, err := NewFBParallel(tri, p.ord, p.pool)
 			if err != nil {
 				return fail(err)
 			}
 			p.fb = fb
 			p.fbm = NewFBParallelMulti(fb)
 		}
-		if p.tri != nil && p.ord != nil {
+		if tri != nil && p.ord != nil {
 			// Build the parallel smoother eagerly: a lazily built one
 			// would be mutable state racing under concurrent SymGS calls.
-			sym, err := NewSymGSParallel(p.tri, p.ord, p.pool)
+			sym, err := NewSymGSParallel(tri, p.ord, p.pool)
 			if err != nil {
 				return fail(err)
 			}
 			p.sym = sym
 		}
 	}
+	p.state.Store(&planEpoch{a: ea, be: be, tri: tri})
 	capacity := opt.MaxInFlight
 	if p.pool != nil {
 		capacity = 1
@@ -307,7 +355,7 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 	}
 	p.gate = parallel.NewGate(capacity)
 	if opt.SelfCheck {
-		if err := p.audit(); err != nil {
+		if err := p.audit(ea, tri); err != nil {
 			p.Close()
 			return nil, err
 		}
@@ -318,12 +366,12 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 
 // audit runs the internal/check invariant validators over the plan's
 // preprocessing products.
-func (p *Plan) audit() error {
-	if err := check.CSR(p.a); err != nil {
+func (p *Plan) audit(a *sparse.CSR, tri *sparse.Triangular) error {
+	if err := check.CSR(a); err != nil {
 		return err
 	}
-	if p.tri != nil {
-		if err := check.Split(p.a, p.tri); err != nil {
+	if tri != nil {
+		if err := check.Split(a, tri); err != nil {
 			return err
 		}
 	}
@@ -331,7 +379,7 @@ func (p *Plan) audit() error {
 		if err := check.Perm(p.ord.Perm); err != nil {
 			return err
 		}
-		if err := check.ABMC(p.ord, p.a); err != nil {
+		if err := check.ABMC(p.ord, a); err != nil {
 			return err
 		}
 	}
@@ -376,8 +424,14 @@ func (p *Plan) Closed() bool {
 // N returns the matrix dimension.
 func (p *Plan) N() int { return p.n }
 
-// Stats returns the preprocessing cost breakdown of plan construction.
-func (p *Plan) Stats() PlanStats { return p.stats }
+// Stats returns the preprocessing cost breakdown of plan construction
+// plus the running UpdateValues counters.
+func (p *Plan) Stats() PlanStats {
+	s := p.stats
+	s.Updates = p.updates.Load()
+	s.UpdateTime = time.Duration(p.updateNanos.Load())
+	return s
+}
 
 // Metrics returns a point-in-time snapshot of the plan's execution
 // counters; see PlanMetrics. Safe to call at any time, including
@@ -426,17 +480,19 @@ func (p *Plan) Workers() int {
 // nil. The matrix held by the plan is in this ordering.
 func (p *Plan) Ordering() *reorder.ABMCResult { return p.ord }
 
-// Matrix returns the matrix in execution order (permuted when ABMC
-// was applied). Callers must not modify it.
-func (p *Plan) Matrix() *sparse.CSR { return p.a }
+// Matrix returns the current epoch's matrix in execution order
+// (permuted when ABMC was applied). Callers must not modify it.
+func (p *Plan) Matrix() *sparse.CSR { return p.state.Load().a }
 
 // exec is the admission wrapper every entry point runs through: it
 // takes a gate slot (FIFO-fair, failing with ErrClosed after Close and
-// with ctx.Err() if the context fires while queued), bridges ctx to the
-// kernel cancel flag, loans the caller a pooled workspace, and settles
-// the metrics. fn returns the analytic work it performed, counted only
-// on success.
-func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *runEnv) (work, error)) error {
+// with ctx.Err() if the context fires while queued), pins the current
+// value epoch (loaded exactly once, so a concurrent UpdateValues never
+// mixes generations within one execution), bridges ctx to the kernel
+// cancel flag, loans the caller a pooled workspace, and settles the
+// metrics. fn returns the analytic work it performed, counted only on
+// success.
+func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *runEnv, ep *planEpoch) (work, error)) error {
 	if err := p.gate.Enter(ctx); err != nil {
 		if errors.Is(err, parallel.ErrClosed) {
 			p.metrics.rejected.Add(1)
@@ -448,6 +504,7 @@ func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *
 	defer p.gate.Leave()
 	p.metrics.inflight.Add(1)
 	defer p.metrics.inflight.Add(-1)
+	ep := p.state.Load()
 
 	env := &runEnv{met: &p.metrics, lane: -1}
 	if rec := p.rec.Load(); rec != nil {
@@ -477,7 +534,7 @@ func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *
 		region = rtrace.StartRegion(rctx, opRegionNames[op])
 	}
 	start := time.Now()
-	wk, err := fn(ws, env)
+	wk, err := fn(ws, env, ep)
 	end := time.Now()
 	elapsed := end.Sub(start)
 	if region != nil {
@@ -539,8 +596,8 @@ func (p *Plan) MPK(x0 []float64, k int) ([]float64, error) {
 // boundary of the pipeline, returning an error wrapping ctx.Err().
 func (p *Plan) MPKCtx(ctx context.Context, x0 []float64, k int) ([]float64, error) {
 	var xk []float64
-	err := p.exec(ctx, opMPK, func(ws *workspace, env *runEnv) (wk work, err error) {
-		xk, _, wk, err = p.run(ws, env, x0, k, nil)
+	err := p.exec(ctx, opMPK, func(ws *workspace, env *runEnv, ep *planEpoch) (wk work, err error) {
+		xk, _, wk, err = p.run(ws, env, ep, x0, k, nil)
 		return wk, err
 	})
 	if err != nil {
@@ -562,13 +619,13 @@ func (p *Plan) SymGS(b, x []float64, sweeps int) error {
 // SymGSCtx is SymGS honoring ctx. On cancellation the contents of x
 // are unspecified.
 func (p *Plan) SymGSCtx(ctx context.Context, b, x []float64, sweeps int) error {
-	if p.tri == nil {
+	if p.opt.Engine != EngineForwardBackward {
 		return fmt.Errorf("core: SymGS requires the forward-backward engine: %w", ErrNoSplit)
 	}
 	if len(b) != p.n || len(x) != p.n {
 		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", p.n, len(b), len(x), ErrDimension)
 	}
-	return p.exec(ctx, opSymGS, func(ws *workspace, env *runEnv) (work, error) {
+	return p.exec(ctx, opSymGS, func(ws *workspace, env *runEnv, ep *planEpoch) (work, error) {
 		pb, pxv := b, x
 		if p.ord != nil {
 			pb = ws.vec(p.n)
@@ -578,9 +635,9 @@ func (p *Plan) SymGSCtx(ctx context.Context, b, x []float64, sweeps int) error {
 		}
 		var err error
 		if p.sym != nil {
-			err = p.sym.apply(env, pb, pxv, sweeps)
+			err = p.sym.apply(env, ep.tri, pb, pxv, sweeps)
 		} else {
-			err = symGSSerial(env, p.tri, pb, pxv, sweeps)
+			err = symGSSerial(env, ep.tri, pb, pxv, sweeps)
 		}
 		if err != nil {
 			return work{}, err
@@ -612,7 +669,7 @@ func (p *Plan) MPKAllCtx(ctx context.Context, x0 []float64, k int) ([][]float64,
 		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
 	}
 	var out [][]float64
-	err := p.exec(ctx, opMPKAll, func(ws *workspace, env *runEnv) (work, error) {
+	err := p.exec(ctx, opMPKAll, func(ws *workspace, env *runEnv, ep *planEpoch) (work, error) {
 		out = make([][]float64, k+1)
 		out[0] = sparse.CopyVec(x0)
 		hook := func(power int, x []float64) {
@@ -633,13 +690,13 @@ func (p *Plan) MPKAllCtx(ctx context.Context, x0 []float64, k int) ([][]float64,
 		var err error
 		switch {
 		case p.opt.Engine == EngineStandard && p.pool != nil:
-			_, err = standardMPKParallel(env, p.be, in, k, p.pool, hook)
+			_, err = standardMPKParallel(env, ep.be, in, k, p.pool, hook)
 		case p.opt.Engine == EngineStandard:
-			_, err = standardMPK(env, p.be, in, k, hook)
+			_, err = standardMPK(env, ep.be, in, k, hook)
 		case p.fb != nil:
-			_, _, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
+			_, _, err = p.fb.runCapture(ep.tri, ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
 		default:
-			_, _, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, nil, hook)
+			_, _, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, ep.tri, in, k, p.opt.BtB, nil, hook)
 		}
 		if err != nil {
 			return work{}, err
@@ -664,7 +721,7 @@ func (p *Plan) MPKBatch(xs [][]float64, k int) ([][]float64, error) {
 // MPKBatchCtx is MPKBatch honoring ctx.
 func (p *Plan) MPKBatchCtx(ctx context.Context, xs [][]float64, k int) ([][]float64, error) {
 	var out [][]float64
-	err := p.exec(ctx, opMPKBatch, func(ws *workspace, env *runEnv) (work, error) {
+	err := p.exec(ctx, opMPKBatch, func(ws *workspace, env *runEnv, ep *planEpoch) (work, error) {
 		in := xs
 		if p.ord != nil {
 			in = make([][]float64, len(xs))
@@ -678,7 +735,7 @@ func (p *Plan) MPKBatchCtx(ctx context.Context, xs [][]float64, k int) ([][]floa
 			}
 		}
 		var err error
-		out, err = standardMPKBatch(env, p.be, in, k)
+		out, err = standardMPKBatch(env, ep.be, in, k)
 		if err != nil {
 			return work{}, err
 		}
@@ -712,8 +769,8 @@ func (p *Plan) MPKMulti(xs [][]float64, k int) ([][]float64, error) {
 // MPKMultiCtx is MPKMulti honoring ctx.
 func (p *Plan) MPKMultiCtx(ctx context.Context, xs [][]float64, k int) ([][]float64, error) {
 	var xks [][]float64
-	err := p.exec(ctx, opMPKMulti, func(ws *workspace, env *runEnv) (wk work, err error) {
-		xks, _, wk, err = p.runMulti(ws, env, xs, k, nil)
+	err := p.exec(ctx, opMPKMulti, func(ws *workspace, env *runEnv, ep *planEpoch) (wk work, err error) {
+		xks, _, wk, err = p.runMulti(ws, env, ep, xs, k, nil)
 		return wk, err
 	})
 	if err != nil {
@@ -759,8 +816,8 @@ func (p *Plan) SSpMVMultiCtx(ctx context.Context, coeffs []float64, xs [][]float
 		return out, nil
 	}
 	var combos [][]float64
-	err := p.exec(ctx, opSSpMVMulti, func(ws *workspace, env *runEnv) (wk work, err error) {
-		_, combos, wk, err = p.runMulti(ws, env, xs, len(coeffs)-1, coeffs)
+	err := p.exec(ctx, opSSpMVMulti, func(ws *workspace, env *runEnv, ep *planEpoch) (wk work, err error) {
+		_, combos, wk, err = p.runMulti(ws, env, ep, xs, len(coeffs)-1, coeffs)
 		return wk, err
 	})
 	if err != nil {
@@ -771,7 +828,7 @@ func (p *Plan) SSpMVMultiCtx(ctx context.Context, coeffs []float64, xs [][]float
 
 // runMulti dispatches a batched run to the engine the plan selected,
 // handling the ABMC permutation on both sides.
-func (p *Plan) runMulti(ws *workspace, env *runEnv, xs [][]float64, k int, coeffs []float64) (xks, combos [][]float64, wk work, err error) {
+func (p *Plan) runMulti(ws *workspace, env *runEnv, ep *planEpoch, xs [][]float64, k int, coeffs []float64) (xks, combos [][]float64, wk work, err error) {
 	var m int
 	if _, m, err = checkMulti(p.n, xs, k, coeffs); err != nil {
 		return nil, nil, work{}, err
@@ -788,7 +845,7 @@ func (p *Plan) runMulti(ws *workspace, env *runEnv, xs [][]float64, k int, coeff
 	wk = p.workPowers(k, m)
 	switch {
 	case p.opt.Engine == EngineStandard:
-		xks, err = standardMPKBatch(env, p.be, in, k)
+		xks, err = standardMPKBatch(env, ep.be, in, k)
 		if err == nil && coeffs != nil {
 			// The combo needs the intermediate powers the SpMM sweep does
 			// not retain, so the standard path re-runs per vector: m extra
@@ -797,16 +854,16 @@ func (p *Plan) runMulti(ws *workspace, env *runEnv, xs [][]float64, k int, coeff
 			wk.nnz += uint64(k) * uint64(m) * p.nnzA
 			combos = make([][]float64, len(in))
 			for j, x := range in {
-				combos[j], err = sspmvStandard(env, p.be, coeffs, x)
+				combos[j], err = sspmvStandard(env, ep.be, coeffs, x)
 				if err != nil {
 					break
 				}
 			}
 		}
 	case p.fbm != nil:
-		xks, combos, err = p.fbm.run(ws.fbMulti(p.n, m, p.opt.BtB), env, in, k, p.opt.BtB, coeffs)
+		xks, combos, err = p.fbm.run(ep.tri, ws.fbMulti(p.n, m, p.opt.BtB), env, in, k, p.opt.BtB, coeffs)
 	default:
-		xks, combos, err = fbmpkSerialMulti(ws.fbMulti(p.n, m, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, coeffs)
+		xks, combos, err = fbmpkSerialMulti(ws.fbMulti(p.n, m, p.opt.BtB), env, ep.tri, in, k, p.opt.BtB, coeffs)
 	}
 	if err != nil {
 		return nil, nil, work{}, err
@@ -851,8 +908,8 @@ func (p *Plan) SSpMVCtx(ctx context.Context, coeffs, x0 []float64) ([]float64, e
 		return y, nil
 	}
 	var combo []float64
-	err := p.exec(ctx, opSSpMV, func(ws *workspace, env *runEnv) (wk work, err error) {
-		_, combo, wk, err = p.run(ws, env, x0, len(coeffs)-1, coeffs)
+	err := p.exec(ctx, opSSpMV, func(ws *workspace, env *runEnv, ep *planEpoch) (wk work, err error) {
+		_, combo, wk, err = p.run(ws, env, ep, x0, len(coeffs)-1, coeffs)
 		return wk, err
 	})
 	if err != nil {
@@ -887,7 +944,7 @@ func (p *Plan) SSpMVComplexCtx(ctx context.Context, coeffs []complex128, x0 []fl
 		return re, im, nil
 	}
 	k := len(coeffs) - 1
-	err = p.exec(ctx, opSSpMVComplex, func(ws *workspace, env *runEnv) (work, error) {
+	err = p.exec(ctx, opSSpMVComplex, func(ws *workspace, env *runEnv, ep *planEpoch) (work, error) {
 		// The hook sees iterates in the plan's execution ordering, so for
 		// reordered plans the accumulators move into permuted space first
 		// and the results unpermute once at the end.
@@ -913,13 +970,13 @@ func (p *Plan) SSpMVComplexCtx(ctx context.Context, coeffs []complex128, x0 []fl
 		var err error
 		switch {
 		case p.opt.Engine == EngineStandard && p.pool != nil:
-			_, err = standardMPKParallel(env, p.be, in, k, p.pool, hook)
+			_, err = standardMPKParallel(env, ep.be, in, k, p.pool, hook)
 		case p.opt.Engine == EngineStandard:
-			_, err = standardMPK(env, p.be, in, k, hook)
+			_, err = standardMPK(env, ep.be, in, k, hook)
 		case p.fb != nil:
-			_, _, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
+			_, _, err = p.fb.runCapture(ep.tri, ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
 		default:
-			_, _, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, nil, hook)
+			_, _, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, ep.tri, in, k, p.opt.BtB, nil, hook)
 		}
 		if err != nil {
 			return work{}, err
@@ -941,7 +998,7 @@ func (p *Plan) SSpMVComplexCtx(ctx context.Context, coeffs []complex128, x0 []fl
 
 // run dispatches a single-vector run to the engine the plan selected,
 // handling the ABMC permutation on both sides.
-func (p *Plan) run(ws *workspace, env *runEnv, x0 []float64, k int, coeffs []float64) (xk, combo []float64, wk work, err error) {
+func (p *Plan) run(ws *workspace, env *runEnv, ep *planEpoch, x0 []float64, k int, coeffs []float64) (xk, combo []float64, wk work, err error) {
 	if len(x0) != p.n {
 		return nil, nil, work{}, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
 	}
@@ -955,13 +1012,13 @@ func (p *Plan) run(ws *workspace, env *runEnv, x0 []float64, k int, coeffs []flo
 	wk = p.workPowers(k, 1)
 	switch {
 	case p.opt.Engine == EngineStandard && p.pool != nil:
-		xk, err = standardMPKParallel(env, p.be, in, k, p.pool, nil)
+		xk, err = standardMPKParallel(env, ep.be, in, k, p.pool, nil)
 		if err == nil && coeffs != nil {
 			// The parallel standard engine retains no iterates, so the
 			// combo re-runs the power sweep: double the matrix traffic.
 			wk.sweeps += uint64(k)
 			wk.nnz += uint64(k) * p.nnzA
-			combo, err = p.standardCombo(env, in, coeffs)
+			combo, err = p.standardCombo(env, ep, in, coeffs)
 		}
 	case p.opt.Engine == EngineStandard:
 		var hook IterateFunc
@@ -976,11 +1033,11 @@ func (p *Plan) run(ws *workspace, env *runEnv, x0 []float64, k int, coeffs []flo
 				}
 			}
 		}
-		xk, err = standardMPK(env, p.be, in, k, hook)
+		xk, err = standardMPK(env, ep.be, in, k, hook)
 	case p.fb != nil:
-		xk, combo, err = p.fb.runCapture(ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, coeffs, nil)
+		xk, combo, err = p.fb.runCapture(ep.tri, ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, coeffs, nil)
 	default:
-		xk, combo, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, p.tri, in, k, p.opt.BtB, coeffs, nil)
+		xk, combo, err = fbmpkSerial(ws.fb(p.n, p.opt.BtB), env, ep.tri, in, k, p.opt.BtB, coeffs, nil)
 	}
 	if err != nil {
 		return nil, nil, work{}, err
@@ -1000,12 +1057,12 @@ func (p *Plan) run(ws *workspace, env *runEnv, x0 []float64, k int, coeffs []flo
 
 // standardCombo evaluates the SSpMV combination with the parallel
 // standard engine by re-running the power sweep with a capture hook.
-func (p *Plan) standardCombo(env *runEnv, in []float64, coeffs []float64) ([]float64, error) {
+func (p *Plan) standardCombo(env *runEnv, ep *planEpoch, in []float64, coeffs []float64) ([]float64, error) {
 	combo := make([]float64, p.n)
 	for i := range combo {
 		combo[i] = coeffs[0] * in[i]
 	}
-	_, err := standardMPKParallel(env, p.be, in, len(coeffs)-1, p.pool, func(power int, x []float64) {
+	_, err := standardMPKParallel(env, ep.be, in, len(coeffs)-1, p.pool, func(power int, x []float64) {
 		if c := coeffs[power]; c != 0 {
 			sparse.AXPY(c, x, combo)
 		}

@@ -133,15 +133,17 @@ func NewSymGSParallel(tri *sparse.Triangular, ord *reorder.ABMCResult, pool *par
 
 // Apply runs sweeps SYMGS iterations on x in place.
 func (g *SymGSParallel) Apply(b, x []float64, sweeps int) error {
-	return g.apply(nil, b, x, sweeps)
+	return g.apply(nil, g.tri, b, x, sweeps)
 }
 
-// apply is Apply with a run environment; the cancellation protocol is
-// the skip-mode scheme of FBParallel.runCapture (workers keep crossing
-// every barrier of the schedule once they observe the flag, they just
-// stop computing).
-func (g *SymGSParallel) apply(env *runEnv, b, x []float64, sweeps int) error {
-	n := g.tri.N
+// apply is Apply with a run environment, executing on tri — any split
+// sharing the structure g was scheduled for (the plan passes its
+// pinned epoch's split); the cancellation protocol is the skip-mode
+// scheme of FBParallel.runCapture (workers keep crossing every barrier
+// of the schedule once they observe the flag, they just stop
+// computing).
+func (g *SymGSParallel) apply(env *runEnv, tri *sparse.Triangular, b, x []float64, sweeps int) error {
+	n := tri.N
 	if len(b) != n || len(x) != n {
 		return fmt.Errorf("core: SymGS (n=%d, b=%d, x=%d): %w", n, len(b), len(x), ErrDimension)
 	}
@@ -158,7 +160,7 @@ func (g *SymGSParallel) apply(env *runEnv, b, x []float64, sweeps int) error {
 				if !skip {
 					bb := g.colorBounds[c]
 					lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
-					symGSForwardRange(g.tri, b, x, lo, hi)
+					symGSForwardRange(tri, b, x, lo, hi)
 				}
 				clock.endCompute(phaseSymGS, int32(c))
 				g.bar.Wait()
@@ -173,7 +175,7 @@ func (g *SymGSParallel) apply(env *runEnv, b, x []float64, sweeps int) error {
 				if !skip {
 					bb := g.colorBounds[c]
 					lo, hi := int(g.ord.BlockPtr[bb[id]]), int(g.ord.BlockPtr[bb[id+1]])
-					symGSBackwardRange(g.tri, b, x, lo, hi)
+					symGSBackwardRange(tri, b, x, lo, hi)
 				}
 				clock.endCompute(phaseSymGS, int32(c))
 				g.bar.Wait()

@@ -49,6 +49,10 @@ func WriteRegistryMetrics(w io.Writer, snaps ...RegistrySnapshot) error {
 		func(s registry.Stats) float64 { return float64(s.BuildFailures) })
 	counter("fbmpk_cache_evictions_total", "Entries evicted by LRU capacity pressure or registry Close.",
 		func(s registry.Stats) float64 { return float64(s.Evictions) })
+	counter("fbmpk_cache_update_inplace_total", "UpdateValues calls served by an in-place epoch swap on a cached plan.",
+		func(s registry.Stats) float64 { return float64(s.Updated) })
+	counter("fbmpk_cache_update_rebuild_total", "UpdateValues calls that fell back to a full plan build.",
+		func(s registry.Stats) float64 { return float64(s.Rebuilt) })
 	counter("fbmpk_cache_build_seconds_total", "Cumulative wall time of successful plan builds.",
 		func(s registry.Stats) float64 { return s.BuildTime.Seconds() })
 	gauge("fbmpk_cache_entries", "Cached plans (ready or building).",

@@ -99,55 +99,57 @@ const fingerprintBufLen = 8192
 // single value, index, dimension, or meaningful option field yields a
 // distinct key. The encoding is fixed-width little-endian,
 // independent of host architecture.
+//
+// The key is layered: sha256 over the header words plus the structure
+// and values sub-digests (the v3 layout; v2 hashed the raw arrays
+// inline). Composing from sub-digests lets callers that need several
+// keys for one matrix — Acquire computes the plan key, the
+// structure+options key, and the tuner-cache key — hash each array
+// exactly once instead of once per key.
 func Fingerprint(a *sparse.CSR, opt core.Options) Key {
-	h := sha256.New()
-	var buf [fingerprintBufLen]byte
+	return fingerprintWithParts(StructureFingerprint(a), valuesFingerprint(a), a, Canonicalize(opt))
+}
 
-	// Header: format tag, dimensions, canonicalized options. The tag
-	// version moves whenever the header layout changes (v2 added the
-	// backend words), so keys from different layouts can never collide.
-	n := copy(buf[:], "fbmpk-plan-v2\x00")
-	for _, v := range headerWords(a, Canonicalize(opt)) {
-		binary.LittleEndian.PutUint64(buf[n:], v)
+// fingerprintWithParts assembles the plan key from precomputed
+// structure and values digests. opt must already be canonicalized.
+func fingerprintWithParts(s, v Key, a *sparse.CSR, opt core.Options) Key {
+	h := sha256.New()
+	var buf [16 + 16*8]byte
+	// The tag version moves whenever the key layout changes (v2 added
+	// the backend words, v3 switched to sub-digest composition), so keys
+	// from different layouts can never collide.
+	n := copy(buf[:], "fbmpk-plan-v3\x00")
+	for _, w := range headerWords(a, opt) {
+		binary.LittleEndian.PutUint64(buf[n:], w)
 		n += 8
 	}
 	h.Write(buf[:n])
+	h.Write(s[:])
+	h.Write(v[:])
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
 
-	// Body: the three CSR arrays, streamed through the staging buffer.
-	n = 0
-	flushIfFull := func() {
+// valuesFingerprint digests only the value array (exact float64 bits).
+func valuesFingerprint(a *sparse.CSR) Key {
+	h := sha256.New()
+	var buf [fingerprintBufLen]byte
+	// Tag written on its own so the loop below stays 8-byte aligned and
+	// the exact flush check holds.
+	h.Write([]byte("fbmpk-val-v1\x00"))
+	n := 0
+	for _, v := range a.Val {
+		binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(v))
+		n += 8
 		if n == fingerprintBufLen {
 			h.Write(buf[:n])
 			n = 0
 		}
 	}
-	for _, v := range a.RowPtr {
-		binary.LittleEndian.PutUint64(buf[n:], uint64(v))
-		n += 8
-		flushIfFull()
-	}
-	// ColIdx entries are 4 bytes; the buffer length is a multiple of
-	// both widths so the flush check stays exact.
-	for _, c := range a.ColIdx {
-		binary.LittleEndian.PutUint32(buf[n:], uint32(c))
-		n += 4
-		flushIfFull()
-	}
-	if n%8 != 0 {
-		// Re-align so a value can never collide with an index tail.
-		binary.LittleEndian.PutUint32(buf[n:], 0xffffffff)
-		n += 4
-		flushIfFull()
-	}
-	for _, v := range a.Val {
-		binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(v))
-		n += 8
-		flushIfFull()
-	}
 	if n > 0 {
 		h.Write(buf[:n])
 	}
-
 	var k Key
 	h.Sum(k[:0])
 	return k
@@ -181,6 +183,34 @@ func headerWords(a *sparse.CSR, opt core.Options) [16]uint64 {
 		uint64(opt.SELLSigma),
 		uint64(opt.BSRBlock),
 	}
+}
+
+// structOptKey composes the structure fingerprint with the canonical
+// option words: the identity of "a cached plan that could serve this
+// matrix after an in-place value update". Registry.UpdateValues uses
+// it to find the entry whose values to swap — same structure, same
+// options, any values. opt must already be canonicalized.
+func structOptKey(a *sparse.CSR, opt core.Options) Key {
+	return structOptKeyFromStruct(StructureFingerprint(a), a, opt)
+}
+
+// structOptKeyFromStruct is structOptKey given a precomputed structure
+// fingerprint, so callers needing several keys hash the structure once.
+func structOptKeyFromStruct(s Key, a *sparse.CSR, opt core.Options) Key {
+	h := sha256.New()
+	h.Write([]byte("fbmpk-structopt-v1\x00"))
+	h.Write(s[:])
+	var buf [8]byte
+	// Option words only: dimensions and nnz are already covered by the
+	// structure fingerprint.
+	words := headerWords(a, opt)
+	for _, v := range words[3:] {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
 }
 
 // StructureFingerprint digests only the matrix sparsity structure —

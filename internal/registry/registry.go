@@ -47,6 +47,15 @@ type Registry struct {
 	byPlan   map[*core.Plan]*entry
 	lru      *list.List // of *entry; front = most recently used
 
+	// structIdx maps the (structure, options) composite key of each
+	// cached entry to its current content Key, so UpdateValues can find
+	// the plan whose values to swap regardless of which value
+	// generation it currently holds. updateMu serializes UpdateValues
+	// calls (updates are rare next to acquires; one at a time keeps the
+	// two-phase re-key simple).
+	structIdx map[Key]Key
+	updateMu  sync.Mutex
+
 	hits          uint64
 	misses        uint64
 	coalesced     uint64
@@ -54,6 +63,8 @@ type Registry struct {
 	builds        uint64
 	buildFailures uint64
 	evictions     uint64
+	updated       uint64
+	rebuilt       uint64
 	buildTime     time.Duration
 
 	// tunings caches autotuner verdicts keyed by StructureFingerprint.
@@ -71,6 +82,7 @@ type Registry struct {
 // Release closes the plan.
 type entry struct {
 	key     Key
+	sKey    Key // (structure, options) composite; see Registry.structIdx
 	refs    int
 	evicted bool
 	elem    *list.Element // nil once evicted
@@ -93,6 +105,13 @@ type Stats struct {
 	Builds        uint64 `json:"builds"`    // successful plan constructions
 	BuildFailures uint64 `json:"build_failures"`
 	Evictions     uint64 `json:"evictions"`
+
+	// Updated counts UpdateValues calls served by an in-place epoch
+	// swap on a cached plan (structure unchanged); Rebuilt counts
+	// UpdateValues calls that fell back to a full plan build (structure
+	// delta, or no updatable entry cached).
+	Updated uint64 `json:"updated"`
+	Rebuilt uint64 `json:"rebuilt"`
 
 	// BuildTime is the cumulative wall time of successful builds —
 	// the preprocessing cost the cache's hits avoided paying again.
@@ -127,11 +146,12 @@ func New(capacity int) *Registry {
 		capacity = 0
 	}
 	return &Registry{
-		capacity: capacity,
-		entries:  make(map[Key]*entry),
-		byPlan:   make(map[*core.Plan]*entry),
-		lru:      list.New(),
-		tunings:  make(map[Key]core.TuneDecision),
+		capacity:  capacity,
+		entries:   make(map[Key]*entry),
+		byPlan:    make(map[*core.Plan]*entry),
+		lru:       list.New(),
+		structIdx: make(map[Key]Key),
+		tunings:   make(map[Key]core.TuneDecision),
 	}
 }
 
@@ -174,13 +194,12 @@ func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.O
 		r.mu.Unlock()
 		return nil, fmt.Errorf("registry: Acquire canceled: %w", err)
 	}
-	key := Fingerprint(a, opt)
-	var structKey Key
-	if opt.Backend == core.BackendAuto {
-		// The verdict cache is keyed by structure alone: value updates
-		// and option changes reuse the same tuning decision.
-		structKey = StructureFingerprint(a)
-	}
+	// One hashing pass per array: the structure digest feeds the plan
+	// key, the miss entry's structure+options key, and (for BackendAuto)
+	// the tuner verdict cache, which is keyed by structure alone so
+	// value updates and option changes reuse the same tuning decision.
+	structKey := StructureFingerprint(a)
+	key := fingerprintWithParts(structKey, valuesFingerprint(a), a, opt)
 
 	r.mu.Lock()
 	if r.closed {
@@ -225,9 +244,10 @@ func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.O
 	}
 
 	// Miss: insert a building entry and become the flight owner.
-	e := &entry{key: key, refs: 1, done: make(chan struct{})}
+	e := &entry{key: key, sKey: structOptKeyFromStruct(structKey, a, opt), refs: 1, done: make(chan struct{})}
 	e.elem = r.lru.PushFront(e)
 	r.entries[key] = e
+	r.structIdx[e.sKey] = key
 	r.misses++
 	buildOpts := []core.Option{opt}
 	if opt.Backend == core.BackendAuto {
@@ -369,8 +389,8 @@ func (r *Registry) evictOverflowLocked() []*core.Plan {
 	return toClose
 }
 
-// unlinkLocked removes e from the key map and LRU list and marks it
-// evicted. Idempotent.
+// unlinkLocked removes e from the key map, the structure index, and
+// the LRU list, and marks it evicted. Idempotent.
 func (r *Registry) unlinkLocked(e *entry) {
 	if e.evicted {
 		return
@@ -378,6 +398,9 @@ func (r *Registry) unlinkLocked(e *entry) {
 	e.evicted = true
 	if cur, ok := r.entries[e.key]; ok && cur == e {
 		delete(r.entries, e.key)
+	}
+	if cur, ok := r.structIdx[e.sKey]; ok && cur == e.key {
+		delete(r.structIdx, e.sKey)
 	}
 	if e.elem != nil {
 		r.lru.Remove(e.elem)
@@ -406,6 +429,8 @@ func (r *Registry) Stats() Stats {
 		Builds:        r.builds,
 		BuildFailures: r.buildFailures,
 		Evictions:     r.evictions,
+		Updated:       r.updated,
+		Rebuilt:       r.rebuilt,
 		BuildTime:     r.buildTime,
 		TuneHits:      r.tuneHits,
 		TuneMisses:    r.tuneMisses,

@@ -1,0 +1,163 @@
+package registry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"fbmpk/internal/core"
+	"fbmpk/internal/sparse"
+)
+
+// Value updates through the cache. A serving process that re-plans an
+// evolving matrix would otherwise miss on every value generation (the
+// content Key covers values), paying full preprocessing each time.
+// UpdateValues instead locates the cached plan for the same
+// (structure, options) via the structure index, swaps its value epoch
+// in place (Plan.UpdateValues — an O(nnz) gather), and re-keys the
+// entry from the old content fingerprint to the new one, so both the
+// plan and its future Acquire hits survive the transition. When no
+// updatable entry exists — structure delta, evicted, build still in
+// flight or failed — the call degrades to a plain Acquire rebuild.
+// Stats.Updated and Stats.Rebuilt count the two outcomes.
+
+// UpdateValues returns a plan for matrix a built with opts, preferring
+// an in-place value swap on the cached plan sharing a's structure and
+// options over a fresh build. The boolean reports which happened: true
+// means an existing plan was updated in place (its permutation, split,
+// schedule, and tuning verdict all reused); false means the plan came
+// from the ordinary Acquire path. Either way the caller holds one
+// reference and must pair it with Release.
+//
+// In-flight executions on the updated plan finish on the values they
+// were admitted under; see Plan.UpdateValues for the epoch model.
+func (r *Registry) UpdateValues(a *sparse.CSR, opts ...core.Option) (*core.Plan, bool, error) {
+	return r.UpdateValuesCtx(context.Background(), a, opts...)
+}
+
+// UpdateValuesCtx is UpdateValues honoring ctx: cancellation is
+// observed before the swap starts and by any fallback Acquire build;
+// the O(nnz) swap itself is not interrupted once started.
+func (r *Registry) UpdateValuesCtx(ctx context.Context, a *sparse.CSR, opts ...core.Option) (*core.Plan, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt := Canonicalize(core.BuildOptions(opts...))
+	if a == nil {
+		return nil, false, fmt.Errorf("registry: UpdateValues: nil matrix: %w", core.ErrInvalidMatrix)
+	}
+	// No Validate pass here: both ways out of this call re-check the
+	// matrix — the in-place path proves the structure elementwise against
+	// the plan's validated original, and the Acquire fallback validates
+	// before building. Fingerprinting below only hashes the arrays as
+	// given, so it is safe on arbitrary input.
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("registry: UpdateValues canceled: %w", err)
+	}
+	// One hashing pass per array, shared by both keys.
+	s := StructureFingerprint(a)
+	newKey := fingerprintWithParts(s, valuesFingerprint(a), a, opt)
+	sKey := structOptKeyFromStruct(s, a, opt)
+
+	// One update at a time: the two-phase re-key below briefly takes the
+	// entry out of the key map, and serializing updates keeps every
+	// interleaving with concurrent Acquires two-party.
+	r.updateMu.Lock()
+	defer r.updateMu.Unlock()
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("registry: UpdateValues: %w", ErrRegistryClosed)
+	}
+	if _, ok := r.entries[newKey]; ok {
+		// These exact values are already cached (repeated update with
+		// the same payload): a plain hit, no swap needed.
+		r.mu.Unlock()
+		p, err := r.AcquireCtx(ctx, a, opt)
+		return p, false, err
+	}
+	var e *entry
+	if curKey, ok := r.structIdx[sKey]; ok {
+		e = r.entries[curKey]
+	}
+	servable := false
+	if e != nil {
+		select {
+		case <-e.done:
+			servable = e.err == nil && e.plan != nil
+		default:
+			// Build still in flight; the fallback Acquire below coalesces
+			// onto it rather than waiting here under updateMu with no
+			// value swap possible anyway.
+		}
+	}
+	if !servable {
+		r.rebuilt++
+		r.mu.Unlock()
+		p, err := r.AcquireCtx(ctx, a, opt)
+		return p, false, err
+	}
+
+	// Phase 1: pin the entry (the reference the caller will Release)
+	// and take it out of the key map, so no Acquire can hand out the old
+	// fingerprint while the values underneath it change.
+	e.refs++
+	oldKey := e.key
+	if cur, ok := r.entries[oldKey]; ok && cur == e {
+		delete(r.entries, oldKey)
+	}
+	r.mu.Unlock()
+
+	err := e.plan.UpdateValuesCtx(ctx, a)
+
+	r.mu.Lock()
+	if err != nil {
+		// Values unchanged on failure: reinstall under the old key
+		// (unless evicted meanwhile, or a concurrent Acquire rebuilt the
+		// old matrix and owns the slot now).
+		if !e.evicted {
+			if _, occupied := r.entries[oldKey]; !occupied {
+				r.entries[oldKey] = e
+			} else {
+				r.unlinkLocked(e)
+				r.evictions++
+			}
+		}
+		e.refs--
+		shouldClose := e.evicted && e.refs == 0
+		r.mu.Unlock()
+		if shouldClose {
+			r.closeEvicted(e.plan, e)
+		}
+		if errors.Is(err, core.ErrStructureChanged) {
+			// Possible only on a structure-index collision; degrade to a
+			// rebuild like any other non-updatable case.
+			r.mu.Lock()
+			r.rebuilt++
+			r.mu.Unlock()
+			p, aerr := r.AcquireCtx(ctx, a, opt)
+			return p, false, aerr
+		}
+		return nil, false, err
+	}
+
+	// Phase 2: re-key under the new content fingerprint. A concurrent
+	// Acquire may have built the identical (matrix, options) plan in the
+	// window; keep theirs and retire ours (the caller's reference keeps
+	// it alive until Release).
+	if !e.evicted {
+		if cur, occupied := r.entries[newKey]; occupied && cur != e {
+			r.unlinkLocked(e)
+			r.evictions++
+		} else {
+			e.key = newKey
+			r.entries[newKey] = e
+			r.structIdx[sKey] = newKey
+			r.lru.MoveToFront(e.elem)
+		}
+	}
+	r.updated++
+	r.mu.Unlock()
+	return e.plan, true, nil
+}

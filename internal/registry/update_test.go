@@ -1,0 +1,211 @@
+package registry
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"fbmpk/internal/core"
+	"fbmpk/internal/sparse"
+)
+
+// valueVariant deep-copies a with every value transformed, keeping the
+// structure bit-identical.
+func valueVariant(a *sparse.CSR, scale, shift float64) *sparse.CSR {
+	nv := make([]float64, len(a.Val))
+	for i, v := range a.Val {
+		nv[i] = scale*v + shift
+	}
+	return &sparse.CSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: append([]int64(nil), a.RowPtr...),
+		ColIdx: append([]int32(nil), a.ColIdx...),
+		Val:    nv,
+	}
+}
+
+// TestRegistryUpdateValuesTransition covers the fingerprint-transition
+// contract of an in-place update: the plan fingerprint moves (values
+// are content), the structure fingerprint does not, the same plan
+// object keeps serving under the new key, and a later rebuild of this
+// structure replays the cached autotuner verdict with zero samples.
+func TestRegistryUpdateValuesTransition(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	a1 := testCSR(rng, 96, 4)
+	a2 := valueVariant(a1, 1.5, 0.25)
+	opt := core.Options{Engine: core.EngineStandard, Backend: core.BackendAuto}
+
+	key1 := Fingerprint(a1, opt)
+	key2 := Fingerprint(a2, opt)
+	if key1 == key2 {
+		t.Fatal("value change did not move the plan fingerprint")
+	}
+	if StructureFingerprint(a1) != StructureFingerprint(a2) {
+		t.Fatal("value change moved the structure fingerprint")
+	}
+
+	reg := New(0)
+	defer reg.Close()
+
+	p1, err := reg.Acquire(a1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tune := p1.Stats().Tune
+	if tune == nil || tune.FromCache || tune.Samples == 0 {
+		t.Fatalf("first build tune = %+v, want fresh sampled verdict", tune)
+	}
+
+	p2, updated, err := reg.UpdateValues(a2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !updated {
+		t.Fatal("UpdateValues fell back to a rebuild on unchanged structure")
+	}
+	if p2 != p1 {
+		t.Fatal("in-place update returned a different plan object")
+	}
+	if p2.Epoch() != 1 {
+		t.Fatalf("plan epoch = %d, want 1", p2.Epoch())
+	}
+	if st := p2.Stats(); st.Updates != 1 {
+		t.Fatalf("plan Updates = %d, want 1", st.Updates)
+	}
+
+	// The entry now lives under the new content key: acquiring the
+	// updated matrix is a hit on the same object; the tuner never
+	// re-sampled (same verdict pointer semantics: zero additional
+	// samples recorded on the plan).
+	p3, err := reg.Acquire(a2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 != p1 {
+		t.Fatal("Acquire of updated matrix missed the re-keyed entry")
+	}
+	st := reg.Stats()
+	if st.Updated != 1 || st.Rebuilt != 0 {
+		t.Fatalf("stats Updated=%d Rebuilt=%d, want 1, 0", st.Updated, st.Rebuilt)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("stats Hits=%d, want 1 (the post-update acquire)", st.Hits)
+	}
+	if st.Builds != 1 {
+		t.Fatalf("stats Builds=%d, want 1 (update must not rebuild)", st.Builds)
+	}
+
+	// The old content key is gone: re-acquiring the original values
+	// builds a second plan — but the structure-keyed tune verdict
+	// replays with zero samples, so even the rebuild path never re-runs
+	// the tuner on a known structure.
+	pOld, err := reg.Acquire(a1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOld == p1 {
+		t.Fatal("old-values acquire returned the updated plan")
+	}
+	if tune := pOld.Stats().Tune; tune == nil || !tune.FromCache || tune.Samples != 0 {
+		t.Fatalf("rebuild tune = %+v, want cached verdict with zero samples", tune)
+	}
+
+	for _, p := range []*core.Plan{p1, p2, p3, pOld} {
+		if err := reg.Release(p); err != nil {
+			t.Fatalf("release: %v", err)
+		}
+	}
+}
+
+// TestRegistryUpdateValuesRebuildFallback: a structure delta (or a
+// never-seen structure) cannot update in place; the call must still
+// return a working plan, counted under Rebuilt.
+func TestRegistryUpdateValuesRebuildFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	a := testCSR(rng, 80, 4)
+	b := testCSR(rng, 80, 5) // different structure
+	opt := churnOptions()
+
+	reg := New(0)
+	defer reg.Close()
+
+	pa, err := reg.Acquire(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pb, updated, err := reg.UpdateValues(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated {
+		t.Fatal("structure delta reported as in-place update")
+	}
+	if pb == pa {
+		t.Fatal("structure delta returned the old plan")
+	}
+	st := reg.Stats()
+	if st.Rebuilt != 1 || st.Updated != 0 {
+		t.Fatalf("stats Updated=%d Rebuilt=%d, want 0, 1", st.Updated, st.Rebuilt)
+	}
+	if st.Builds != 2 {
+		t.Fatalf("stats Builds=%d, want 2", st.Builds)
+	}
+	// The fallback still serves: both plans answer on their own matrix.
+	x := make([]float64, 80)
+	for i := range x {
+		x[i] = 1
+	}
+	if _, err := pb.MPK(x, 2); err != nil {
+		t.Fatalf("rebuilt plan MPK: %v", err)
+	}
+
+	reg.Release(pa) //nolint:errcheck
+	reg.Release(pb) //nolint:errcheck
+}
+
+// TestRegistryUpdateValuesSameValues: updating with bitwise-identical
+// values is a plain hit on the existing key — neither an epoch swap
+// nor a rebuild.
+func TestRegistryUpdateValuesSameValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	a := testCSR(rng, 64, 4)
+	opt := churnOptions()
+
+	reg := New(0)
+	defer reg.Close()
+
+	p1, err := reg.Acquire(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, updated, err := reg.UpdateValues(valueVariant(a, 1, 0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated || p2 != p1 {
+		t.Fatalf("same-values update: updated=%v same-plan=%v, want false, true", updated, p2 == p1)
+	}
+	st := reg.Stats()
+	if st.Updated != 0 || st.Rebuilt != 0 || st.Hits != 1 {
+		t.Fatalf("stats Updated=%d Rebuilt=%d Hits=%d, want 0, 0, 1", st.Updated, st.Rebuilt, st.Hits)
+	}
+	if p1.Epoch() != 0 {
+		t.Fatalf("epoch = %d, want 0 (no swap)", p1.Epoch())
+	}
+	reg.Release(p1) //nolint:errcheck
+	reg.Release(p2) //nolint:errcheck
+}
+
+// TestRegistryUpdateValuesClosed: updates on a closed registry fail
+// with ErrRegistryClosed.
+func TestRegistryUpdateValuesClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	a := testCSR(rng, 32, 3)
+	reg := New(0)
+	reg.Close()
+	if _, _, err := reg.UpdateValues(a, churnOptions()); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("UpdateValues on closed registry: %v, want ErrRegistryClosed", err)
+	}
+}

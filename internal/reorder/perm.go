@@ -83,6 +83,54 @@ func (p Perm) UnapplyVec(y, x []float64) {
 	}
 }
 
+// ValueMap returns, for each nonzero slot of ApplySym(a)'s value
+// array, the index of the source entry in a.Val: if b = P·A·Pᵀ, then
+// b.Val[k] == a.Val[m[k]]. The map depends only on a's structure and
+// p, so a plan can keep it and gather fresh execution-order values
+// from any matrix with identical structure without re-running the
+// symmetric permutation. The entry ordering replays ApplySymPool's
+// gather-then-insertion-sort exactly, so the gathered array is bitwise
+// identical to a fresh ApplySym.
+func (p Perm) ValueMap(a *sparse.CSR) ([]int64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("reorder: ValueMap: %w", sparse.ErrNotSquare)
+	}
+	if len(p) != a.Rows {
+		return nil, fmt.Errorf("reorder: perm length %d != matrix rows %d", len(p), a.Rows)
+	}
+	inv := p.Inverse()
+	n := a.Rows
+	m := make([]int64, a.NNZ())
+	type ent struct {
+		c   int32
+		src int64
+	}
+	var buf []ent
+	w := int64(0)
+	for i := 0; i < n; i++ {
+		cols, _ := a.Row(int(p[i]))
+		base := a.RowPtr[int(p[i])]
+		buf = buf[:0]
+		for k, c := range cols {
+			buf = append(buf, ent{inv[c], base + int64(k)})
+		}
+		for x := 1; x < len(buf); x++ {
+			e := buf[x]
+			y := x - 1
+			for y >= 0 && buf[y].c > e.c {
+				buf[y+1] = buf[y]
+				y--
+			}
+			buf[y+1] = e
+		}
+		for _, e := range buf {
+			m[w] = e.src
+			w++
+		}
+	}
+	return m, nil
+}
+
 // ApplySym symmetrically permutes a square matrix: B = P·A·Pᵀ, i.e.
 // B[i][j] = A[p[i]][p[j]]. Row columns are re-sorted to keep the CSR
 // invariant.

@@ -12,6 +12,16 @@ import (
 // re-reads matrix bytes on the hot path; vectors may be omitted to
 // select a deterministic default, keeping load-generator payloads
 // O(1) in the matrix size.
+//
+// The wire contract is versioned: every endpoint lives under a
+// /v1/... path, every response body carries an explicit api_version
+// field, and the unversioned legacy paths answer with a permanent
+// redirect to their /v1 twin. See DESIGN.md for the full contract.
+
+// APIVersion is the wire-contract version stamped into every response
+// body and reflected in the /v1/... path prefix. It moves only on a
+// breaking change to the request or response shapes.
+const APIVersion = "v1"
 
 // GeneratorSpec is the JSON body of a generator-backed matrix upload:
 // one of the paper's Table II suite stand-ins, scaled and seeded.
@@ -26,11 +36,31 @@ type GeneratorSpec struct {
 // that the same matrix (same key under the daemon's plan options) was
 // already resident.
 type UploadResponse struct {
-	Key    string `json:"key"`
-	Rows   int    `json:"rows"`
-	Cols   int    `json:"cols"`
-	NNZ    int    `json:"nnz"`
-	Cached bool   `json:"cached"`
+	APIVersion string `json:"api_version"`
+	Key        string `json:"key"`
+	Rows       int    `json:"rows"`
+	Cols       int    `json:"cols"`
+	NNZ        int    `json:"nnz"`
+	Cached     bool   `json:"cached"`
+}
+
+// UpdateResponse acknowledges a value update
+// (POST /v1/matrix/{key}/values). The matrix moves to a new
+// fingerprint key (values are part of the content fingerprint);
+// subsequent operation requests must reference Key, not OldKey.
+// Updated reports the fast path: true when a cached plan was updated
+// in place by an epoch swap (its permutation, split, schedule, and
+// tuning all reused), false when the daemon fell back to a full plan
+// build (structure delta, or no plan cached). Epoch is the serving
+// plan's value-epoch sequence number after the update.
+type UpdateResponse struct {
+	APIVersion string `json:"api_version"`
+	OldKey     string `json:"old_key"`
+	Key        string `json:"key"`
+	Rows       int    `json:"rows"`
+	NNZ        int    `json:"nnz"`
+	Updated    bool   `json:"updated"`
+	Epoch      uint64 `json:"epoch"`
 }
 
 // Result-shape selectors for OpRequest.Return.
@@ -71,11 +101,12 @@ type OpRequest struct {
 
 // OpResponse is the success body of an operation request.
 type OpResponse struct {
-	Op        string    `json:"op"`
-	N         int       `json:"n"`
-	Result    []float64 `json:"result,omitempty"`
-	Checksum  string    `json:"checksum,omitempty"`
-	ElapsedNS int64     `json:"elapsed_ns"`
+	APIVersion string    `json:"api_version"`
+	Op         string    `json:"op"`
+	N          int       `json:"n"`
+	Result     []float64 `json:"result,omitempty"`
+	Checksum   string    `json:"checksum,omitempty"`
+	ElapsedNS  int64     `json:"elapsed_ns"`
 }
 
 // ErrorKind classifies an ErrorResponse for programmatic clients; the
@@ -92,8 +123,9 @@ const (
 
 // ErrorResponse is the JSON body of every non-2xx answer.
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"`
+	APIVersion string `json:"api_version"`
+	Error      string `json:"error"`
+	Kind       string `json:"kind,omitempty"`
 }
 
 // DefaultVector returns the deterministic start vector used when a

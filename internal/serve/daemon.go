@@ -108,23 +108,35 @@ func (s *Server) Registry() *fbmpk.Registry { return s.reg }
 // closed by their final Release.
 func (s *Server) Close() { s.reg.Close() }
 
-// Handler returns the daemon's HTTP surface:
+// Handler returns the daemon's HTTP surface (wire contract version
+// APIVersion; see DESIGN.md):
 //
-//	POST /v1/matrix   upload (MatrixMarket body, or JSON generator spec)
-//	POST /v1/mpk      A^k x0 against an uploaded matrix
-//	POST /v1/sspmv    sum coeffs[i] A^i x0
-//	POST /v1/solve    symmetric Gauss-Seidel sweeps for A x = b
-//	GET  /v1/matrices resident matrices and their keys
-//	GET  /healthz     readiness probe
-//	GET  /metrics     Prometheus text: daemon counters + plan cache
+//	POST /v1/matrix               upload (MatrixMarket body, or JSON generator spec)
+//	POST /v1/matrix/{key}/values  swap the values of a resident matrix
+//	POST /v1/mpk                  A^k x0 against an uploaded matrix
+//	POST /v1/sspmv                sum coeffs[i] A^i x0
+//	POST /v1/solve                symmetric Gauss-Seidel sweeps for A x = b
+//	GET  /v1/matrices             resident matrices and their keys
+//	GET  /healthz                 readiness probe
+//	GET  /metrics                 Prometheus text: daemon counters + plan cache
 //	/debug/vars, /debug/pprof, /trace   via RegistryDebugHandler
+//
+// The pre-versioning unversioned paths (/matrix, /mpk, ...) answer
+// with a 308 permanent redirect to their /v1 twin — method and body
+// preserved — and will be dropped after one release.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/matrix", s.handleUpload)
+	mux.HandleFunc("/v1/matrix/", s.handleValues)
 	mux.HandleFunc("/v1/mpk", s.handleOp("mpk"))
 	mux.HandleFunc("/v1/sspmv", s.handleOp("sspmv"))
 	mux.HandleFunc("/v1/solve", s.handleOp("solve"))
 	mux.HandleFunc("/v1/matrices", s.handleList)
+	for _, p := range []string{"/matrix", "/mpk", "/sspmv", "/solve", "/matrices"} {
+		// 308, not 301: clients followed off the legacy alias must
+		// re-send the POST body, which 301 historically downgrades to GET.
+		mux.Handle(p, http.RedirectHandler("/v1"+p, http.StatusPermanentRedirect))
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -142,14 +154,15 @@ func (s *Server) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "fbmpkd: FBMPK serving daemon")
-		fmt.Fprintln(w, "  POST /v1/matrix    upload a matrix (MatrixMarket body or JSON generator spec)")
-		fmt.Fprintln(w, "  POST /v1/mpk       {\"matrix\":key,\"k\":5}")
-		fmt.Fprintln(w, "  POST /v1/sspmv     {\"matrix\":key,\"coeffs\":[...]}")
-		fmt.Fprintln(w, "  POST /v1/solve     {\"matrix\":key,\"sweeps\":2}")
-		fmt.Fprintln(w, "  GET  /v1/matrices  resident matrices")
-		fmt.Fprintln(w, "  GET  /metrics      Prometheus text exposition")
-		fmt.Fprintln(w, "  GET  /debug/...    expvar, pprof; /trace")
+		fmt.Fprintln(w, "fbmpkd: FBMPK serving daemon (API "+APIVersion+")")
+		fmt.Fprintln(w, "  POST /v1/matrix               upload a matrix (MatrixMarket body or JSON generator spec)")
+		fmt.Fprintln(w, "  POST /v1/matrix/{key}/values  swap the values of a resident matrix (same body formats)")
+		fmt.Fprintln(w, "  POST /v1/mpk                  {\"matrix\":key,\"k\":5}")
+		fmt.Fprintln(w, "  POST /v1/sspmv                {\"matrix\":key,\"coeffs\":[...]}")
+		fmt.Fprintln(w, "  POST /v1/solve                {\"matrix\":key,\"sweeps\":2}")
+		fmt.Fprintln(w, "  GET  /v1/matrices             resident matrices")
+		fmt.Fprintln(w, "  GET  /metrics                 Prometheus text exposition")
+		fmt.Fprintln(w, "  GET  /debug/...               expvar, pprof; /trace")
 	})
 	return mux
 }
@@ -169,28 +182,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
 		return
 	}
-	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
-	var (
-		a   *fbmpk.Matrix
-		err error
-	)
-	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
-		var spec GeneratorSpec
-		if err := json.NewDecoder(body).Decode(&spec); err != nil {
-			s.uploadErr(w, http.StatusBadRequest, "decoding generator spec: %v", err)
-			return
-		}
-		a, err = fbmpk.GenerateSuiteMatrix(spec.Name, spec.Scale, spec.Seed)
-		if err != nil {
-			s.uploadErr(w, http.StatusBadRequest, "generating matrix: %v", err)
-			return
-		}
-	} else {
-		a, _, err = mmio.Read(body)
-		if err != nil {
-			s.uploadErr(w, http.StatusBadRequest, "parsing MatrixMarket body: %v", err)
-			return
-		}
+	a, err := s.parseMatrixBody(w, r)
+	if err != nil {
+		s.uploadErr(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	key := fbmpk.PlanFingerprint(a, s.cfg.PlanOptions...).String()
 
@@ -210,13 +205,105 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 	s.count("upload", "ok")
 	writeJSON(w, http.StatusOK, UploadResponse{
-		Key: key, Rows: a.Rows, Cols: a.Cols, NNZ: len(a.Val), Cached: cached,
+		APIVersion: APIVersion,
+		Key:        key, Rows: a.Rows, Cols: a.Cols, NNZ: len(a.Val), Cached: cached,
 	})
 }
 
 func (s *Server) uploadErr(w http.ResponseWriter, status int, format string, args ...any) {
 	s.count("upload", KindBadRequest)
 	writeErr(w, status, KindBadRequest, fmt.Sprintf(format, args...))
+}
+
+// parseMatrixBody decodes the matrix body shared by upload and value
+// update: a JSON body is a generator spec, anything else is parsed as
+// a MatrixMarket document.
+func (s *Server) parseMatrixBody(w http.ResponseWriter, r *http.Request) (*fbmpk.Matrix, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.maxBody())
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var spec GeneratorSpec
+		if err := json.NewDecoder(body).Decode(&spec); err != nil {
+			return nil, fmt.Errorf("decoding generator spec: %v", err)
+		}
+		a, err := fbmpk.GenerateSuiteMatrix(spec.Name, spec.Scale, spec.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("generating matrix: %v", err)
+		}
+		return a, nil
+	}
+	a, _, err := mmio.Read(body)
+	if err != nil {
+		return nil, fmt.Errorf("parsing MatrixMarket body: %v", err)
+	}
+	return a, nil
+}
+
+// handleValues serves POST /v1/matrix/{key}/values: replace the values
+// of a resident matrix, preferring an in-place epoch swap on its
+// cached plan over a full rebuild (Registry.UpdateValues). The matrix
+// moves to the new content fingerprint returned in the response;
+// in-flight operations admitted before the swap finish bitwise on the
+// values they started with.
+func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
+	const op = "update"
+	key, sub, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/v1/matrix/"), "/")
+	if !ok || sub != "values" || key == "" {
+		writeErr(w, http.StatusNotFound, KindNotFound, "no such endpoint")
+		return
+	}
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
+		return
+	}
+	if s.matrix(key) == nil {
+		s.count(op, KindNotFound)
+		writeErr(w, http.StatusNotFound, KindNotFound,
+			fmt.Sprintf("no matrix with key %q (upload it via POST /v1/matrix)", key))
+		return
+	}
+	a, err := s.parseMatrixBody(w, r)
+	if err != nil {
+		s.count(op, KindBadRequest)
+		writeErr(w, http.StatusBadRequest, KindBadRequest, err.Error())
+		return
+	}
+	// Updates do plan work — an O(nnz) swap, or a full build on the
+	// rebuild fallback — so they pass the same admission gate as
+	// operations.
+	if !s.adm.tryEnter() {
+		s.count(op, KindOverload)
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, KindOverload,
+			fmt.Sprintf("admission limit of %d concurrent requests reached", s.adm.limit()))
+		return
+	}
+	defer s.adm.leave()
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.defaultTimeout())
+	defer cancel()
+
+	plan, updated, err := s.reg.UpdateValuesCtx(ctx, a, s.cfg.PlanOptions...)
+	if err != nil {
+		s.opErr(w, op, err)
+		return
+	}
+	epoch := plan.Epoch()
+	defer s.reg.Release(plan) //nolint:errcheck // release of a just-acquired plan
+
+	// Re-home the resident matrix under its new content key; operation
+	// requests reference the new key from here on.
+	newKey := fbmpk.PlanFingerprint(a, s.cfg.PlanOptions...).String()
+	s.mu.Lock()
+	delete(s.matrices, key)
+	s.matrices[newKey] = a
+	s.mu.Unlock()
+
+	s.count(op, "ok")
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		APIVersion: APIVersion,
+		OldKey:     key, Key: newKey,
+		Rows: a.Rows, NNZ: len(a.Val),
+		Updated: updated, Epoch: epoch,
+	})
 }
 
 // handleList reports the resident matrices.
@@ -326,7 +413,7 @@ func (s *Server) handleOp(op string) http.HandlerFunc {
 			return
 		}
 
-		resp := OpResponse{Op: op, N: len(out), ElapsedNS: elapsed.Nanoseconds()}
+		resp := OpResponse{APIVersion: APIVersion, Op: op, N: len(out), ElapsedNS: elapsed.Nanoseconds()}
 		switch req.Return {
 		case ReturnNone:
 		case ReturnChecksum:
@@ -438,5 +525,5 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 // writeErr encodes an ErrorResponse with the given status and kind.
 func writeErr(w http.ResponseWriter, status int, kind, msg string) {
-	writeJSON(w, status, ErrorResponse{Error: msg, Kind: kind})
+	writeJSON(w, status, ErrorResponse{APIVersion: APIVersion, Error: msg, Kind: kind})
 }

@@ -486,3 +486,162 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// postValues sends a MatrixMarket body to the values endpoint.
+func postValues(t *testing.T, base, key string, a *fbmpk.Matrix) (int, *UpdateResponse, *ErrorResponse) {
+	t.Helper()
+	var mm bytes.Buffer
+	if err := mmio.Write(&mm, a); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/matrix/"+key+"/values", "text/plain", &mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		var out UpdateResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decoding OK body %q: %v", raw, err)
+		}
+		return resp.StatusCode, &out, nil
+	}
+	var eresp ErrorResponse
+	if err := json.Unmarshal(raw, &eresp); err != nil {
+		t.Fatalf("decoding error body %q: %v", raw, err)
+	}
+	return resp.StatusCode, nil, &eresp
+}
+
+// TestValuesUpdateEndpoint drives the mutable-matrix surface end to
+// end: upload, solve, swap values in place, and verify the daemon
+// serves the new values under the new key with the plan updated rather
+// than rebuilt.
+func TestValuesUpdateEndpoint(t *testing.T) {
+	s, hts := newTestServer(t, Config{})
+	key := uploadTestMatrix(t, hts.URL)
+
+	status, op1, _ := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: 3, Return: ReturnChecksum})
+	if status != http.StatusOK {
+		t.Fatalf("mpk before update: status %d", status)
+	}
+	if op1.APIVersion != APIVersion {
+		t.Fatalf("op response api_version %q, want %q", op1.APIVersion, APIVersion)
+	}
+
+	// Same structure, new values.
+	a2 := testMatrix(t)
+	for i := range a2.Val {
+		a2.Val[i] = 1.5*a2.Val[i] + 0.25
+	}
+	status, up, _ := postValues(t, hts.URL, key, a2)
+	if status != http.StatusOK {
+		t.Fatalf("values update: status %d", status)
+	}
+	if up.APIVersion != APIVersion {
+		t.Fatalf("update response api_version %q, want %q", up.APIVersion, APIVersion)
+	}
+	if !up.Updated {
+		t.Fatal("unchanged structure reported as rebuild")
+	}
+	if up.OldKey != key || up.Key == key {
+		t.Fatalf("key transition %s -> %s, want a move off %s", up.OldKey, up.Key, key)
+	}
+	if up.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", up.Epoch)
+	}
+	st := s.Registry().Stats()
+	if st.Updated != 1 || st.Builds != 1 {
+		t.Fatalf("registry Updated=%d Builds=%d, want 1, 1 (no rebuild)", st.Updated, st.Builds)
+	}
+
+	// The old key no longer serves; the new one answers with results
+	// matching a from-scratch reference on the updated matrix.
+	status, _, eresp := postOp(t, hts.URL, "mpk", OpRequest{Matrix: key, K: 3, Return: ReturnChecksum})
+	if status != http.StatusNotFound || eresp.Kind != KindNotFound {
+		t.Fatalf("old key after update: status %d kind %q", status, eresp.Kind)
+	}
+	status, op2, _ := postOp(t, hts.URL, "mpk", OpRequest{Matrix: up.Key, K: 3, Return: ReturnChecksum})
+	if status != http.StatusOK {
+		t.Fatalf("mpk after update: status %d", status)
+	}
+	ref, err := fbmpk.NewPlan(a2, testPlanOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	want, err := ref.MPK(DefaultVector(a2.Rows), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op2.Checksum != Checksum(want) {
+		t.Fatalf("post-update checksum %s != reference %s", op2.Checksum, Checksum(want))
+	}
+	if op2.Checksum == op1.Checksum {
+		t.Fatal("update did not change the served values")
+	}
+
+	// Structure delta: the endpoint still answers, via the rebuild
+	// fallback.
+	b, err := fbmpk.GenerateSuiteMatrix("cant", 0.002, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, up2, _ := postValues(t, hts.URL, up.Key, b)
+	if status != http.StatusOK {
+		t.Fatalf("structure-delta update: status %d", status)
+	}
+	if up2.Updated {
+		t.Fatal("structure delta reported as in-place update")
+	}
+	if got := s.Registry().Stats().Rebuilt; got != 1 {
+		t.Fatalf("registry Rebuilt=%d, want 1", got)
+	}
+
+	// Unknown keys 404.
+	status, _, eresp = postValues(t, hts.URL, "deadbeef", a2)
+	if status != http.StatusNotFound || eresp.Kind != KindNotFound {
+		t.Fatalf("unknown key: status %d kind %q", status, eresp.Kind)
+	}
+}
+
+// TestLegacyPathRedirects verifies the unversioned aliases answer with
+// a method-preserving permanent redirect to their /v1 twin.
+func TestLegacyPathRedirects(t *testing.T) {
+	_, hts := newTestServer(t, Config{})
+	client := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for _, p := range []string{"/matrix", "/mpk", "/sspmv", "/solve", "/matrices"} {
+		resp, err := client.Post(hts.URL+p, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Fatalf("%s: status %d, want 308", p, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != "/v1"+p {
+			t.Fatalf("%s: Location %q, want %q", p, loc, "/v1"+p)
+		}
+	}
+
+	// A client following the redirect reaches the real endpoint.
+	spec, _ := json.Marshal(GeneratorSpec{Name: "cant", Scale: 0.004, Seed: 1})
+	resp, err := http.Post(hts.URL+"/matrix", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("redirected upload: status %d", resp.StatusCode)
+	}
+	var up UploadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Key == "" || up.APIVersion != APIVersion {
+		t.Fatalf("redirected upload response: %+v", up)
+	}
+}

@@ -101,6 +101,42 @@ func ToBSR(a *CSR, r, c int) *BSR {
 	return b
 }
 
+// WithValues builds a new BSR holding a's values in b's block layout.
+// RowPtr and ColIdx are shared with the receiver; only the dense block
+// payload is freshly allocated (zero-filled, then scattered). a must
+// have the structure b was built from; the caller verifies that. The
+// receiver is not modified.
+func (b *BSR) WithValues(a *CSR) *BSR {
+	nb := *b
+	nb.Val = make([]float64, len(b.Val))
+	r, c := b.R, b.C
+	rc := int64(r * c)
+	for br := 0; br < b.BRows; br++ {
+		blocks := b.ColIdx[b.RowPtr[br]:b.RowPtr[br+1]]
+		for i := br * r; i < (br+1)*r && i < a.Rows; i++ {
+			cols, vals := a.Row(i)
+			for kk, col := range cols {
+				bc := int32(int(col) / c)
+				// Binary search the sorted block-column list.
+				lo, hi := 0, len(blocks)
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if blocks[mid] < bc {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				blk := b.RowPtr[br] + int64(lo)
+				ri := i - br*r
+				ci := int(col) - int(bc)*c
+				nb.Val[blk*rc+int64(ri*c+ci)] = vals[kk]
+			}
+		}
+	}
+	return &nb
+}
+
 // SpMV computes y = B*x.
 func (b *BSR) SpMV(x, y []float64) {
 	if len(x) < b.Cols || len(y) < b.Rows {

@@ -93,6 +93,31 @@ func ToSELL(a *CSR, c, sigma int) *SELL {
 	return s
 }
 
+// WithValues builds a new SELL holding a's values in s's layout. All
+// structure arrays (ChunkPtr, ChunkWidth, ColIdx, Perm) are shared
+// with the receiver; only Val is freshly allocated and refilled, with
+// padding slots left zero. a must have the structure s was built from;
+// the caller verifies that. The receiver is not modified.
+func (s *SELL) WithValues(a *CSR) *SELL {
+	ns := *s
+	ns.Val = make([]float64, len(s.Val))
+	c := s.C
+	for ch := 0; ch*c < s.Rows; ch++ {
+		base := s.ChunkPtr[ch]
+		for lane := 0; lane < c; lane++ {
+			r := ch*c + lane
+			if r >= s.Rows {
+				continue
+			}
+			_, vals := a.Row(int(s.Perm[r]))
+			for k := range vals {
+				ns.Val[base+int64(k*c+lane)] = vals[k]
+			}
+		}
+	}
+	return &ns
+}
+
 // SpMV computes y = S*x with results in original row order.
 func (s *SELL) SpMV(x, y []float64) {
 	if len(x) < s.Cols || len(y) < s.Rows {

@@ -102,6 +102,46 @@ func SplitPool(a *CSR, r Runner) (*Triangular, error) {
 	return t, nil
 }
 
+// WithValues builds a new Triangular holding a's values in t's
+// structure: L and U share t's RowPtr/ColIdx arrays, only Val and D
+// are freshly allocated. a must have exactly the structure t was split
+// from (same RowPtr/ColIdx as the original input); the caller is
+// responsible for that check — WithValues only re-runs the fill pass.
+// The receiver is not modified, so readers of the old epoch keep
+// seeing the old values.
+func (t *Triangular) WithValues(a *CSR, r Runner) *Triangular {
+	n := t.N
+	nt := &Triangular{
+		N: n,
+		L: &CSR{Rows: n, Cols: n, RowPtr: t.L.RowPtr, ColIdx: t.L.ColIdx,
+			Val: make([]float64, t.L.NNZ())},
+		U: &CSR{Rows: n, Cols: n, RowPtr: t.U.RowPtr, ColIdx: t.U.ColIdx,
+			Val: make([]float64, t.U.NNZ())},
+		D: make([]float64, n),
+	}
+	// Identical to SplitPool's pass 2: structure is fixed, so each row
+	// writes its pre-computed disjoint L/U ranges.
+	ForRanges(r, 0, n, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			cols, vals := a.Row(i)
+			wl, wu := nt.L.RowPtr[i], nt.U.RowPtr[i]
+			for k, c := range cols {
+				switch {
+				case int(c) < i:
+					nt.L.Val[wl] = vals[k]
+					wl++
+				case int(c) > i:
+					nt.U.Val[wu] = vals[k]
+					wu++
+				default:
+					nt.D[i] = vals[k]
+				}
+			}
+		}
+	})
+	return nt
+}
+
 // Recompose rebuilds the full matrix L + D + U as CSR. Diagonal entries
 // are always stored, even when zero, so Recompose(Split(a)) equals a
 // for matrices with a full stored diagonal; for matrices with missing

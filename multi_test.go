@@ -28,14 +28,14 @@ func relMaxDiffTest(got, want []float64) float64 {
 	return d
 }
 
-// TestRunMultiMatchesIndependentSuite checks, across the whole matgen
+// TestMPKMultiMatchesIndependentSuite checks, across the whole matgen
 // suite, that the batched multi-RHS pipeline matches m independent runs
 // of the scalar pipeline to 1e-12 — for both stripe layouts, both
 // parities of k, and with and without combination coefficients. The
 // batched kernels accumulate each vector's sums in the same order as
 // the scalar pipeline, so agreement is to roundoff noise, not just to
 // iteration accuracy.
-func TestRunMultiMatchesIndependentSuite(t *testing.T) {
+func TestMPKMultiMatchesIndependentSuite(t *testing.T) {
 	const m = 3
 	rng := rand.New(rand.NewSource(7))
 	coeffs := []float64{0.3, -1.2, 0.8, 2.1, -0.5, 0.9}
@@ -87,9 +87,9 @@ func TestRunMultiMatchesIndependentSuite(t *testing.T) {
 	}
 }
 
-// TestRunMultiOneShot covers the package-level one-shot wrappers,
-// including the deprecated RunMulti alias of MPKMulti.
-func TestRunMultiOneShot(t *testing.T) {
+// TestMPKMultiOneShot covers the package-level one-shot block
+// wrappers.
+func TestMPKMultiOneShot(t *testing.T) {
 	a, err := GenerateSuiteMatrix("cant", 0.002, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -100,10 +100,6 @@ func TestRunMultiOneShot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aliased, err := RunMulti(a, xs, 3, DefaultOptions(2))
-	if err != nil {
-		t.Fatal(err)
-	}
 	for j := range xs {
 		want, err := MPK(a, xs[j], 3, DefaultOptions(2))
 		if err != nil {
@@ -111,9 +107,6 @@ func TestRunMultiOneShot(t *testing.T) {
 		}
 		if d := relMaxDiffTest(got[j], want); d > 1e-12 {
 			t.Fatalf("vector %d: rel diff %g", j, d)
-		}
-		if d := relMaxDiffTest(aliased[j], got[j]); d != 0 {
-			t.Fatalf("RunMulti alias diverges from MPKMulti on vector %d by %g", j, d)
 		}
 	}
 	coeffs := []float64{1, 0.5, 0.25}

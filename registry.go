@@ -32,14 +32,22 @@ import (
 // plan teardown until the last reference drains, so a cached plan can
 // never be closed out from under a caller still using it.
 //
+// UpdateValues is the mutable-matrix entry point: given a matrix whose
+// values changed but whose structure matches a cached plan (built with
+// the same options), it swaps the plan's value epoch in place and
+// re-keys the entry to the new content fingerprint — no preprocessing,
+// no re-tuning — falling back to an ordinary Acquire build otherwise.
+// See the package documentation's "Mutable matrices" section.
+//
 // All methods are safe for concurrent use.
 type Registry = registry.Registry
 
 // RegistryStats is a point-in-time snapshot of a Registry's counters:
 // cache traffic (Hits, Misses, Coalesced, Canceled), build outcomes (Builds,
-// BuildFailures, cumulative BuildTime), Evictions, and occupancy
-// (Entries, Live, Capacity). Its HitRate method reports the fraction
-// of Acquires that did not trigger a build.
+// BuildFailures, cumulative BuildTime), Evictions, value-update
+// outcomes (Updated in-place swaps vs Rebuilt fallbacks), and
+// occupancy (Entries, Live, Capacity). Its HitRate method reports the
+// fraction of Acquires that did not trigger a build.
 type RegistryStats = registry.Stats
 
 // PlanKey is the content fingerprint a Registry keys plans by: a

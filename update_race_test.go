@@ -1,0 +1,132 @@
+package fbmpk
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestUpdateChurnEpochConsistency is the epoch/RCU correctness audit:
+// solvers and value-updaters hammer one plan concurrently, with the
+// updaters flipping the matrix between two value sets A and B. Every
+// solver result must be bitwise-identical to the result of a frozen
+// reference plan for EITHER value set — a result mixing epochs (some
+// sweeps on A's values, some on B's) fails the audit. Run under -race
+// this also proves the epoch swap publishes without data races.
+func TestUpdateChurnEpochConsistency(t *testing.T) {
+	a1, err := GenerateSuiteMatrix("cant", 0.002, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := &Matrix{
+		Rows:   a1.Rows,
+		Cols:   a1.Cols,
+		RowPtr: append([]int64(nil), a1.RowPtr...),
+		ColIdx: append([]int32(nil), a1.ColIdx...),
+		Val:    make([]float64, len(a1.Val)),
+	}
+	for i, v := range a1.Val {
+		a2.Val[i] = 1.5*v + 0.125
+	}
+
+	const k = 3
+	x0 := make([]float64, a1.Rows)
+	for i := range x0 {
+		x0[i] = 1 + float64(i%13)*0.0625
+	}
+
+	// Frozen references: one never-updated plan per value set. The
+	// serial FB engine is bitwise-deterministic, so any epoch-pure
+	// result matches one of these two vectors exactly.
+	refA, err := NewPlan(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refA.Close()
+	refB, err := NewPlan(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refB.Close()
+	wantA, err := refA.MPK(x0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := refB.MPK(x0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches := func(y, w []float64) bool {
+		for i := range y {
+			if y[i] != w[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if matches(wantA, wantB) {
+		t.Fatal("value sets A and B produce identical results; audit is vacuous")
+	}
+
+	p, err := NewPlan(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const (
+		solvers       = 4
+		updaters      = 2
+		runsPerSolver = 25
+		updatesEach   = 25
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, solvers+updaters)
+	mixed := make(chan int, solvers*runsPerSolver)
+
+	for s := 0; s < solvers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < runsPerSolver; i++ {
+				y, err := p.MPK(x0, k)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !matches(y, wantA) && !matches(y, wantB) {
+					mixed <- i
+					return
+				}
+			}
+		}()
+	}
+	for u := 0; u < updaters; u++ {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < updatesEach; i++ {
+				src := a1
+				if (i+u)%2 == 0 {
+					src = a2
+				}
+				if err := p.UpdateValues(src); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	close(mixed)
+	for err := range errCh {
+		t.Fatalf("churn error: %v", err)
+	}
+	for i := range mixed {
+		t.Fatalf("solver iteration %d observed a result matching neither epoch (torn across value sets)", i)
+	}
+	if ep := p.Epoch(); ep != updaters*updatesEach {
+		t.Fatalf("final epoch %d, want %d", ep, updaters*updatesEach)
+	}
+}
