@@ -92,21 +92,24 @@ wait "$SOLVE_PID" 2> /dev/null || true
 
 # Serving daemon end-to-end: the full contract suite (deadline
 # propagation, deterministic 429 shed, graceful-drain bitwise
-# identity, N concurrent clients) under -race, then a live
-# fbmpkd + fbmpkload round trip: start the daemon on an ephemeral
-# port, offer a short open-loop load curve, gate the JSON report
-# (-check: zero hard errors, finite p99), scrape /metrics for both
-# the daemon and plan-cache families, and SIGTERM it — the drain must
-# exit 0.
+# identity, N concurrent clients, trace-ID correlation across header /
+# body / access log / flight recorder / exemplar) under -race, then the
+# tracing-overhead gate — the instrumented request path must stay
+# within 2% of the stripped one — and a live fbmpkd + fbmpkload round
+# trip: start the daemon on an ephemeral port, offer a short open-loop
+# load curve, gate the JSON report (-check: zero hard errors, finite
+# p99), scrape /metrics for the daemon, plan-cache, and build-info
+# families, and SIGTERM it — the drain must exit 0.
 go test -race ./internal/serve/ -count 1
+FBMPK_OVERHEAD_GATE=1 go test ./internal/serve/ -run TestDetachedOverheadGate -count 1
 go build -o /tmp/fbmpk_ci_fbmpkd ./cmd/fbmpkd
 go build -o /tmp/fbmpk_ci_fbmpkload ./cmd/fbmpkload
 rm -f /tmp/fbmpk_ci_fbmpkd.log
-/tmp/fbmpk_ci_fbmpkd -addr 127.0.0.1:0 -threads 2 > /tmp/fbmpk_ci_fbmpkd.log &
+/tmp/fbmpk_ci_fbmpkd -addr 127.0.0.1:0 -threads 2 > /tmp/fbmpk_ci_fbmpkd.log 2>&1 &
 FBMPKD_PID=$!
 DADDR=
 for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
-  DADDR=$(sed -n 's#^fbmpkd: listening on http://\(.*\)$#\1#p' /tmp/fbmpk_ci_fbmpkd.log)
+  DADDR=$(sed -n 's#.*msg=listening url=http://\([^ ]*\).*#\1#p' /tmp/fbmpk_ci_fbmpkd.log)
   if [ -n "$DADDR" ] && curl -sf "http://$DADDR/healthz" > /dev/null; then
     break
   fi
@@ -117,12 +120,31 @@ done
 /tmp/fbmpk_ci_fbmpkload -addr "http://$DADDR" -matrix cant -scale 0.004 \
   -qps 10,25,50 -duration 2s -k 4 -json /tmp/fbmpk_ci_load.json
 /tmp/fbmpk_ci_fbmpkload -check /tmp/fbmpk_ci_load.json
+# Request-tracing correlation, live: send one op with a fixed W3C
+# traceparent and demand the trace ID back in the response body, the
+# structured access log, the /v1/debug/requests flight recorder, and
+# as a /metrics histogram exemplar (which ?exemplars=0 must strip).
+CI_TRACE=4bf92f3577b34da6a3ce929d0e0e4736
+CI_MKEY=$(curl -sf -X POST "http://$DADDR/v1/matrix" -H 'Content-Type: application/json' \
+  -d '{"name":"cant","scale":0.004,"seed":1}' | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$CI_MKEY" ]
+curl -sf -X POST "http://$DADDR/v1/mpk" -H 'Content-Type: application/json' \
+  -H "traceparent: 00-$CI_TRACE-00f067aa0ba902b7-01" \
+  -d "{\"matrix\":\"$CI_MKEY\",\"k\":4,\"return\":\"checksum\"}" \
+  | grep -q "\"trace_id\":\"$CI_TRACE\""
+grep -q "trace_id=$CI_TRACE" /tmp/fbmpk_ci_fbmpkd.log
+curl -sf "http://$DADDR/v1/debug/requests" > /tmp/fbmpk_ci_flight.json
+grep -q "\"trace_id\":\"$CI_TRACE\"" /tmp/fbmpk_ci_flight.json
+grep -q '"plan.execute"' /tmp/fbmpk_ci_flight.json
 curl -sf "http://$DADDR/metrics" > /tmp/fbmpk_ci_daemon_metrics.txt
 grep -q 'fbmpkd_requests_total{op="mpk",outcome="ok"}' /tmp/fbmpk_ci_daemon_metrics.txt
+grep -q 'fbmpkd_build_info{' /tmp/fbmpk_ci_daemon_metrics.txt
 grep -q 'fbmpk_cache_hits_total{' /tmp/fbmpk_ci_daemon_metrics.txt
+grep -q '# {trace_id="' /tmp/fbmpk_ci_daemon_metrics.txt
+curl -sf "http://$DADDR/metrics?exemplars=0" | grep -c '# {trace_id="' | grep -qx 0
 kill -TERM "$FBMPKD_PID"
 wait "$FBMPKD_PID"
-grep -q 'fbmpkd: drained cleanly' /tmp/fbmpk_ci_fbmpkd.log
+grep -q 'msg="drained cleanly"' /tmp/fbmpk_ci_fbmpkd.log
 
 FUZZTIME=${FUZZTIME:-10s}
 go test -run '^$' -fuzz '^FuzzDifferentialMPK$'   -fuzztime "$FUZZTIME" .
@@ -133,3 +155,4 @@ go test -run '^$' -fuzz '^FuzzDifferentialBackend$' -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzAPIBoundary$'       -fuzztime "$FUZZTIME" .
 go test -run '^$' -fuzz '^FuzzFBMPKEquivalence$'  -fuzztime "$FUZZTIME" ./internal/core
 go test -run '^$' -fuzz '^FuzzRead$'              -fuzztime "$FUZZTIME" ./internal/mmio
+go test -run '^$' -fuzz '^FuzzTraceparent$'       -fuzztime "$FUZZTIME" ./internal/serve

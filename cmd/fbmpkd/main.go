@@ -8,7 +8,7 @@
 // Usage:
 //
 //	fbmpkd -addr :8707 -threads 4
-//	fbmpkd -addr 127.0.0.1:0 -backend auto -registry-cap 8
+//	fbmpkd -addr 127.0.0.1:0 -backend auto -registry-cap 8 -log-format json
 //
 //	curl -s localhost:8707/v1/matrix -H 'Content-Type: application/json' \
 //	     -d '{"name":"cant","scale":0.01,"seed":1}'
@@ -22,14 +22,18 @@
 // plan in place when the structure is unchanged (epoch/RCU swap) and
 // rebuilds otherwise.
 //
-// See the README "Serving over the network" section for the full
-// walkthrough and cmd/fbmpkload for the load harness.
+// Every request is traced: the daemon accepts or generates a W3C
+// traceparent, logs one structured access record per request
+// (-log-level, -log-format), and retains the slowest and most recent
+// failed request timelines at /v1/debug/requests. See the README
+// "Observability" section for the walkthrough.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -53,17 +57,44 @@ func main() {
 		maxBody     = flag.Int64("max-body", 256<<20, "request body size cap in bytes")
 		maxMatrices = flag.Int("max-matrices", 64, "resident uploaded matrix cap")
 		drain       = flag.Duration("drain", 30*time.Second, "in-flight grace period on SIGTERM/SIGINT")
+		flightCap   = flag.Int("flight-recorder", 0, "request timelines retained per flight-recorder set (0 = 16)")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug | info | warn | error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text | json")
 	)
 	flag.Parse()
-	if err := run(*addr, *threads, *backend, *registryCap, *maxInflight,
-		*deadline, *maxTimeout, *maxBody, *maxMatrices, *drain); err != nil {
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fbmpkd:", err)
+		os.Exit(1)
+	}
+	if err := run(logger, *addr, *threads, *backend, *registryCap, *maxInflight,
+		*deadline, *maxTimeout, *maxBody, *maxMatrices, *drain, *flightCap); err != nil {
+		logger.Error("exiting", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(addr string, threads int, backend string, registryCap, maxInflight int,
-	deadline, maxTimeout time.Duration, maxBody int64, maxMatrices int, drain time.Duration) error {
+// buildLogger assembles the daemon's structured logger on stderr; the
+// startup record on it is the machine-readable contract the CI
+// harness and fbmpkload's docs rely on to discover a :0-bound port.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (text | json)", format)
+	}
+}
+
+func run(logger *slog.Logger, addr string, threads int, backend string, registryCap, maxInflight int,
+	deadline, maxTimeout time.Duration, maxBody int64, maxMatrices int, drain time.Duration, flightCap int) error {
 	bk, err := fbmpk.ParseBackend(backend)
 	if err != nil {
 		return err
@@ -76,6 +107,8 @@ func run(addr string, threads int, backend string, registryCap, maxInflight int,
 		MaxBodyBytes:     maxBody,
 		MaxMatrices:      maxMatrices,
 		PlanOptions:      []fbmpk.Option{fbmpk.WithThreads(threads), fbmpk.WithBackend(bk)},
+		Logger:           logger,
+		FlightCapacity:   flightCap,
 	})
 	defer srv.Close()
 
@@ -84,9 +117,14 @@ func run(addr string, threads int, backend string, registryCap, maxInflight int,
 		return err
 	}
 	hs := serve.NewHTTPServer(srv.Handler())
-	// The startup line is the machine-readable contract the CI harness
-	// and fbmpkload's docs rely on to discover a :0-bound port.
-	fmt.Printf("fbmpkd: listening on http://%s\n", ln.Addr())
+	// The url attribute leads so harnesses can extract the :0-bound
+	// port from the text encoding with one pattern.
+	logger.Info("listening",
+		"url", "http://"+ln.Addr().String(),
+		"api_version", serve.APIVersion,
+		"threads", threads,
+		"backend", backend,
+		"go_version", runtime.Version())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -98,11 +136,11 @@ func run(addr string, threads int, backend string, registryCap, maxInflight int,
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 		stop()
-		fmt.Printf("fbmpkd: signal received, draining in-flight requests (up to %v)\n", drain)
+		logger.Info("draining", "grace", drain.String())
 		if err := serve.Shutdown(hs, drain); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
-		fmt.Println("fbmpkd: drained cleanly")
+		logger.Info("drained cleanly")
 		return nil
 	}
 }

@@ -157,31 +157,59 @@ func (c *loadClient) post(path string, contentType string, body []byte) (*http.R
 	return c.hc.Post(c.base+path, contentType, bytes.NewReader(body))
 }
 
-// fire issues one op request and classifies the outcome.
-func (c *loadClient) fire(op string) (time.Duration, int) {
+// outcomeName renders an outcome class for the worst-request records.
+func outcomeName(out int) string {
+	switch out {
+	case outOK:
+		return "ok"
+	case outRejected:
+		return "rejected"
+	case outDeadline:
+		return "deadline"
+	default:
+		return "error"
+	}
+}
+
+// fire issues one op request under a fresh client-generated
+// traceparent and classifies the outcome. The returned trace ID is
+// the correlation key the daemon logged the request under.
+func (c *loadClient) fire(op string) (time.Duration, int, string) {
+	tc := serve.NewTraceContext()
+	trace := tc.TraceIDString()
+	req, err := http.NewRequest(http.MethodPost, c.base+"/v1/"+op, bytes.NewReader(c.bodies[op]))
+	if err != nil {
+		return 0, outError, trace
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.TraceparentHeader, tc.String())
 	start := time.Now()
-	resp, err := c.post("/v1/"+op, "application/json", c.bodies[op])
+	resp, err := c.hc.Do(req)
 	lat := time.Since(start)
 	if err != nil {
-		return lat, outError
+		return lat, outError, trace
 	}
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive reuse
 	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusOK:
-		return lat, outOK
+		return lat, outOK, trace
 	case resp.StatusCode == http.StatusTooManyRequests:
-		return lat, outRejected
+		return lat, outRejected, trace
 	case resp.StatusCode == http.StatusGatewayTimeout:
-		return lat, outDeadline
+		return lat, outDeadline, trace
 	default:
-		return lat, outError
+		return lat, outError, trace
 	}
 }
 
 // stage offers requests open-loop at the given rate for the given
 // duration: request i launches at start + i/qps on its own goroutine,
 // never waiting for outstanding ones.
+// worstTracked bounds the per-stage worst-latency records kept with
+// their trace IDs.
+const worstTracked = 3
+
 func (c *loadClient) stage(qps float64, dur time.Duration, cycle []string) bench.LoadPoint {
 	interval := time.Duration(float64(time.Second) / qps)
 	var (
@@ -190,6 +218,7 @@ func (c *loadClient) stage(qps float64, dur time.Duration, cycle []string) bench
 		rejected, deadline, errs int
 		wg                       sync.WaitGroup
 		sent                     int
+		worst                    []bench.WorstRequest
 	)
 	start := time.Now()
 	for i := 0; ; i++ {
@@ -203,7 +232,7 @@ func (c *loadClient) stage(qps float64, dur time.Duration, cycle []string) bench
 		wg.Add(1)
 		go func(op string) {
 			defer wg.Done()
-			lat, out := c.fire(op)
+			lat, out, trace := c.fire(op)
 			mu.Lock()
 			switch out {
 			case outOK:
@@ -215,11 +244,25 @@ func (c *loadClient) stage(qps float64, dur time.Duration, cycle []string) bench
 			default:
 				errs++
 			}
+			// Track the stage's slowest requests regardless of outcome;
+			// their trace IDs link straight to the daemon's flight
+			// recorder and access log.
+			if len(worst) < worstTracked || lat > worst[len(worst)-1].Latency {
+				worst = append(worst, bench.WorstRequest{
+					Op: op, Outcome: outcomeName(out), TraceID: trace, Latency: lat,
+				})
+				sort.Slice(worst, func(i, j int) bool { return worst[i].Latency > worst[j].Latency })
+				if len(worst) > worstTracked {
+					worst = worst[:worstTracked]
+				}
+			}
 			mu.Unlock()
 		}(op)
 	}
 	wg.Wait()
-	return bench.MakeLoadPoint(qps, dur, sent, rejected, deadline, errs, lats)
+	p := bench.MakeLoadPoint(qps, dur, sent, rejected, deadline, errs, lats)
+	p.Worst = worst
+	return p
 }
 
 func run(addr, matrix string, scale float64, seed uint64, upload, qpsList string,
@@ -296,7 +339,7 @@ func run(addr, matrix string, scale float64, seed uint64, upload, qpsList string
 
 	// Warm the plan cache so the first stage measures serving latency,
 	// not the one-off preprocessing build.
-	if lat, out := c.fire("mpk"); out != outOK {
+	if lat, out, _ := c.fire("mpk"); out != outOK {
 		return fmt.Errorf("warmup mpk request failed (outcome %d after %v)", out, lat)
 	}
 
@@ -307,15 +350,25 @@ func run(addr, matrix string, scale float64, seed uint64, upload, qpsList string
 	rep.Deadline = deadline
 
 	sort.Float64s(points)
-	fmt.Printf("%10s %8s %8s %8s %8s %8s %10s %10s %10s\n",
-		"offered", "sent", "ok", "shed", "dline", "err", "p50", "p90", "p99")
+	fmt.Printf("%10s %8s %8s %8s %8s %8s %10s %10s %10s  %s\n",
+		"offered", "sent", "ok", "shed", "dline", "err", "p50", "p90", "p99", "worst trace")
 	for _, qps := range points {
 		p := c.stage(qps, duration, cycle)
 		rep.Points = append(rep.Points, p)
-		fmt.Printf("%10.1f %8d %8d %8d %8d %8d %10s %10s %10s\n",
+		worst := "-"
+		if len(p.Worst) > 0 {
+			w := p.Worst[0]
+			id := w.TraceID
+			if len(id) > 8 {
+				id = id[:8]
+			}
+			worst = fmt.Sprintf("%s@%s (%s %s)", id,
+				w.Latency.Round(10*time.Microsecond), w.Op, w.Outcome)
+		}
+		fmt.Printf("%10.1f %8d %8d %8d %8d %8d %10s %10s %10s  %s\n",
 			p.OfferedQPS, p.Sent, p.OK, p.Rejected, p.Deadline, p.Errors,
 			p.P50.Round(10*time.Microsecond), p.P90.Round(10*time.Microsecond),
-			p.P99.Round(10*time.Microsecond))
+			p.P99.Round(10*time.Microsecond), worst)
 	}
 
 	if jsonOut != "" {

@@ -1,12 +1,14 @@
 package fbmpk
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 
 	"fbmpk/internal/events"
 	"fbmpk/internal/expo"
@@ -45,6 +47,41 @@ func NewTraceRecorder(cfg TraceConfig) *TraceRecorder {
 // skipped.
 func WriteTrace(w io.Writer, recs ...*TraceRecorder) error {
 	return events.WriteChromeTrace(w, recs...)
+}
+
+// RequestTimeline is a per-request phase record: a serving layer
+// creates one per request (stamped with the request's trace ID),
+// installs it with ContextWithTimeline, and every layer the request
+// crosses — the registry's fingerprint/build/coalesced-wait path and
+// the plan's admission gate, epoch pin, and kernel execution —
+// appends a named phase. A nil *RequestTimeline is the detached
+// state; every method on it is safe and free. This is the mechanism
+// behind fbmpkd's /v1/debug/requests flight recorder, exposed here so
+// library embedders get the same per-request attribution.
+type RequestTimeline = events.Timeline
+
+// RequestPhase is one named interval of a RequestTimeline, offsets
+// relative to the timeline's start.
+type RequestPhase = events.Phase
+
+// NewRequestTimeline starts a request timeline anchored at start.
+// traceID is the correlation key (fbmpkd uses the W3C trace-id; any
+// non-empty string works).
+func NewRequestTimeline(traceID string, start time.Time) *RequestTimeline {
+	return events.NewTimeline(traceID, start)
+}
+
+// ContextWithTimeline installs a request timeline in ctx; the *Ctx
+// entry points and Registry.AcquireCtx/UpdateValuesCtx record their
+// phases into it. A nil timeline returns ctx unchanged.
+func ContextWithTimeline(ctx context.Context, t *RequestTimeline) context.Context {
+	return events.ContextWithTimeline(ctx, t)
+}
+
+// TimelineFromContext recovers the installed request timeline, nil
+// when absent.
+func TimelineFromContext(ctx context.Context) *RequestTimeline {
+	return events.TimelineFromContext(ctx)
 }
 
 // DebugHandler returns an http.Handler exposing the plans' runtime

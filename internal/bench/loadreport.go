@@ -58,6 +58,21 @@ type LoadPoint struct {
 	P90 time.Duration `json:"p90_ns"`
 	P99 time.Duration `json:"p99_ns"`
 	Max time.Duration `json:"max_ns"`
+
+	// Worst lists the stage's worst-latency requests (any outcome,
+	// slowest first) with their trace IDs, so a bad point in the curve
+	// links directly to a server-side timeline in the daemon's
+	// /v1/debug/requests or access log.
+	Worst []WorstRequest `json:"worst,omitempty"`
+}
+
+// WorstRequest correlates one slow request of a load stage with its
+// server-side observability records by trace ID.
+type WorstRequest struct {
+	Op      string        `json:"op"`
+	Outcome string        `json:"outcome"`
+	TraceID string        `json:"trace_id"`
+	Latency time.Duration `json:"latency_ns"`
 }
 
 // NewLoadReport stamps a report skeleton.

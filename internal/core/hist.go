@@ -64,6 +64,21 @@ func (h *latencyHist) observe(d time.Duration) {
 	h.sum.Add(ns)
 }
 
+// LatencyHist is the exported face of the log-linear histogram, for
+// layers above the plan (the serving daemon's per-op/outcome request
+// histograms) that want the same bounded-relative-error buckets
+// without reimplementing them. The zero value is ready to use;
+// methods are safe for concurrent use.
+type LatencyHist struct {
+	h latencyHist
+}
+
+// Observe records one duration (negative durations clamp to zero).
+func (h *LatencyHist) Observe(d time.Duration) { h.h.observe(d) }
+
+// Snapshot materializes the histogram as an OpLatency.
+func (h *LatencyHist) Snapshot() OpLatency { return h.h.snapshot() }
+
 // LatencyBucket is one cumulative histogram bucket of an OpLatency
 // snapshot: Count observations took at most Le.
 type LatencyBucket struct {

@@ -493,6 +493,14 @@ func (p *Plan) Matrix() *sparse.CSR { return p.state.Load().a }
 // metrics. fn returns the analytic work it performed, counted only on
 // success.
 func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *runEnv, ep *planEpoch) (work, error)) error {
+	// A request timeline in ctx gets the per-phase attribution of this
+	// execution; nil (the common library case) keeps every record below
+	// a no-op, so the detached cost is one context lookup.
+	tl := events.TimelineFromContext(ctx)
+	var gateStart time.Time
+	if tl != nil {
+		gateStart = time.Now()
+	}
 	if err := p.gate.Enter(ctx); err != nil {
 		if errors.Is(err, parallel.ErrClosed) {
 			p.metrics.rejected.Add(1)
@@ -505,6 +513,11 @@ func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *
 	p.metrics.inflight.Add(1)
 	defer p.metrics.inflight.Add(-1)
 	ep := p.state.Load()
+	if tl != nil {
+		now := time.Now()
+		tl.Phase("plan.admission", gateStart, now)
+		tl.Mark("plan.epoch", now, int64(ep.seq))
+	}
 
 	env := &runEnv{met: &p.metrics, lane: -1}
 	if rec := p.rec.Load(); rec != nil {
@@ -541,8 +554,9 @@ func (p *Plan) exec(ctx context.Context, op opKind, fn func(ws *workspace, env *
 		region.End()
 	}
 	if env.rec != nil {
-		env.rec.Span(env.lane, events.KindCall, opNames[op], -1, env.seq, start, end)
+		env.rec.SpanTagged(env.lane, events.KindCall, opNames[op], -1, env.seq, start, end, tl.TraceID())
 	}
+	tl.Phase("plan.execute", start, end)
 	p.metrics.callNanos.Add(elapsed.Nanoseconds())
 	p.release(ws)
 	if err != nil {

@@ -66,8 +66,8 @@ func (k Kind) String() string {
 }
 
 // Event is one recorded span. The struct is fixed-size and
-// pointer-free apart from the static Name label, so recording never
-// allocates.
+// pointer-free apart from the static Name label and the optional
+// Trace tag, so recording never allocates.
 type Event struct {
 	Start time.Duration // offset from the recorder epoch
 	Dur   time.Duration
@@ -76,6 +76,7 @@ type Event struct {
 	Arg   int32  // color index, power, or -1
 	Seq   uint64 // call sequence number grouping one execution's spans
 	Name  string // static span label ("mpk", "forward", ...)
+	Trace string // request trace ID, "" for spans outside a traced request
 }
 
 // End returns the span's end offset from the recorder epoch.
@@ -213,6 +214,12 @@ func (r *Recorder) WorkerLane(id int) int32 {
 // epoch offsets); spans recorded with a negative lane are dropped.
 // Safe for one concurrent writer per lane.
 func (r *Recorder) Span(laneID int32, kind Kind, name string, arg int32, seq uint64, start, end time.Time) {
+	r.SpanTagged(laneID, kind, name, arg, seq, start, end, "")
+}
+
+// SpanTagged is Span carrying a request trace ID, so spans a traced
+// serving request produced are recoverable from the lane rings by ID.
+func (r *Recorder) SpanTagged(laneID int32, kind Kind, name string, arg int32, seq uint64, start, end time.Time, trace string) {
 	if r == nil || laneID < 0 {
 		return
 	}
@@ -224,6 +231,7 @@ func (r *Recorder) Span(laneID int32, kind Kind, name string, arg int32, seq uin
 		Arg:   arg,
 		Seq:   seq,
 		Name:  name,
+		Trace: trace,
 	})
 }
 

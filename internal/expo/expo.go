@@ -165,6 +165,12 @@ func (w *promWriter) family(name, help, typ string) {
 }
 
 func (w *promWriter) sample(name string, ls labels, v float64) {
+	w.sampleSuffix(name, ls, v, "")
+}
+
+// sampleSuffix emits a sample line with a trailing annotation (the
+// OpenMetrics exemplar syntax); suffix "" is a plain sample.
+func (w *promWriter) sampleSuffix(name string, ls labels, v float64, suffix string) {
 	var sb strings.Builder
 	sb.WriteString(name)
 	if len(ls) > 0 {
@@ -180,7 +186,7 @@ func (w *promWriter) sample(name string, ls labels, v float64) {
 		}
 		sb.WriteByte('}')
 	}
-	w.printf("%s %s\n", sb.String(), formatFloat(v))
+	w.printf("%s %s%s\n", sb.String(), formatFloat(v), suffix)
 }
 
 func (w *promWriter) printf(format string, args ...any) {

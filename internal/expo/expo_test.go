@@ -177,7 +177,8 @@ func histogramFamily(name string) string {
 	for _, suf := range []string{"_bucket", "_sum", "_count"} {
 		if strings.HasSuffix(name, suf) {
 			base := strings.TrimSuffix(name, suf)
-			if base == "fbmpk_op_latency_seconds" {
+			switch base {
+			case "fbmpk_op_latency_seconds", "fbmpkd_request_seconds":
 				return base
 			}
 		}

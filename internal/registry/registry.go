@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"fbmpk/internal/core"
+	"fbmpk/internal/events"
 	"fbmpk/internal/sparse"
 )
 
@@ -198,8 +199,16 @@ func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.O
 	// key, the miss entry's structure+options key, and (for BackendAuto)
 	// the tuner verdict cache, which is keyed by structure alone so
 	// value updates and option changes reuse the same tuning decision.
+	tl := events.TimelineFromContext(ctx)
+	var hashStart time.Time
+	if tl != nil {
+		hashStart = time.Now()
+	}
 	structKey := StructureFingerprint(a)
 	key := fingerprintWithParts(structKey, valuesFingerprint(a), a, opt)
+	if tl != nil {
+		tl.Phase("registry.fingerprint", hashStart, time.Now())
+	}
 
 	r.mu.Lock()
 	if r.closed {
@@ -225,12 +234,24 @@ func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.O
 			// Wait for the flight owner, but remain cancellable: a
 			// waiter's deadline must not be hostage to the owner's
 			// build time. The build completes regardless.
+			var waitStart time.Time
+			if tl != nil {
+				waitStart = time.Now()
+			}
 			select {
 			case <-e.done:
+				if tl != nil {
+					tl.Phase("registry.wait", waitStart, time.Now())
+				}
 			case <-ctx.Done():
+				if tl != nil {
+					tl.Phase("registry.wait", waitStart, time.Now())
+				}
 				r.abandonWait(e)
 				return nil, fmt.Errorf("registry: Acquire canceled awaiting in-flight build: %w", ctx.Err())
 			}
+		} else {
+			tl.Mark("registry.hit", time.Now(), 0)
 		}
 		if e.err != nil {
 			// Failed build: the owner already unlinked the entry;
@@ -267,6 +288,7 @@ func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.O
 	buildStart := time.Now()
 	plan, err := core.NewPlan(a, buildOpts...)
 	elapsed := time.Since(buildStart)
+	tl.Phase("registry.build", buildStart, buildStart.Add(elapsed))
 
 	r.mu.Lock()
 	e.plan, e.err = plan, err

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"fbmpk/internal/core"
+	"fbmpk/internal/events"
 	"fbmpk/internal/sparse"
 )
 
@@ -55,9 +57,17 @@ func (r *Registry) UpdateValuesCtx(ctx context.Context, a *sparse.CSR, opts ...c
 		return nil, false, fmt.Errorf("registry: UpdateValues canceled: %w", err)
 	}
 	// One hashing pass per array, shared by both keys.
+	tl := events.TimelineFromContext(ctx)
+	var hashStart time.Time
+	if tl != nil {
+		hashStart = time.Now()
+	}
 	s := StructureFingerprint(a)
 	newKey := fingerprintWithParts(s, valuesFingerprint(a), a, opt)
 	sKey := structOptKeyFromStruct(s, a, opt)
+	if tl != nil {
+		tl.Phase("registry.fingerprint", hashStart, time.Now())
+	}
 
 	// One update at a time: the two-phase re-key below briefly takes the
 	// entry out of the key map, and serializing updates keeps every
@@ -109,7 +119,14 @@ func (r *Registry) UpdateValuesCtx(ctx context.Context, a *sparse.CSR, opts ...c
 	}
 	r.mu.Unlock()
 
+	var swapStart time.Time
+	if tl != nil {
+		swapStart = time.Now()
+	}
 	err := e.plan.UpdateValuesCtx(ctx, a)
+	if tl != nil {
+		tl.Phase("registry.update", swapStart, time.Now())
+	}
 
 	r.mu.Lock()
 	if err != nil {

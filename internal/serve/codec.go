@@ -99,7 +99,10 @@ type OpRequest struct {
 	Return string `json:"return,omitempty"`
 }
 
-// OpResponse is the success body of an operation request.
+// OpResponse is the success body of an operation request. TraceID is
+// the request's W3C trace ID (also echoed in the Traceparent response
+// header), the key that joins this response to the daemon's access
+// log, /metrics exemplars, and /v1/debug/requests timelines.
 type OpResponse struct {
 	APIVersion string    `json:"api_version"`
 	Op         string    `json:"op"`
@@ -107,6 +110,7 @@ type OpResponse struct {
 	Result     []float64 `json:"result,omitempty"`
 	Checksum   string    `json:"checksum,omitempty"`
 	ElapsedNS  int64     `json:"elapsed_ns"`
+	TraceID    string    `json:"trace_id,omitempty"`
 }
 
 // ErrorKind classifies an ErrorResponse for programmatic clients; the
@@ -121,11 +125,26 @@ const (
 	KindInternal   = "internal"
 )
 
-// ErrorResponse is the JSON body of every non-2xx answer.
+// ErrorResponse is the JSON body of every non-2xx answer. TraceID
+// carries the request's trace ID so a failed request is correlatable
+// without a response body to inspect server-side.
 type ErrorResponse struct {
 	APIVersion string `json:"api_version"`
 	Error      string `json:"error"`
 	Kind       string `json:"kind,omitempty"`
+	TraceID    string `json:"trace_id,omitempty"`
+}
+
+// DebugRequestsResponse is the body of GET /v1/debug/requests: the
+// flight-recorder capture. Slowest holds the N slowest request
+// timelines since startup (slowest first); RecentErrors the N most
+// recent errored/shed ones (newest first). RequestsSeen counts every
+// request the recorder was offered.
+type DebugRequestsResponse struct {
+	APIVersion   string        `json:"api_version"`
+	RequestsSeen uint64        `json:"requests_seen"`
+	Slowest      []FlightEntry `json:"slowest"`
+	RecentErrors []FlightEntry `json:"recent_errors"`
 }
 
 // DefaultVector returns the deterministic start vector used when a

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"fbmpk"
+	"fbmpk/internal/events"
 	"fbmpk/internal/expo"
 	"fbmpk/internal/mmio"
 )
@@ -39,6 +42,19 @@ type Config struct {
 	// every plan the daemon builds uses; they are part of the
 	// fingerprint keys handed back from upload.
 	PlanOptions []fbmpk.Option
+	// Logger receives the structured access/lifecycle records (one
+	// per finished request). nil disables access logging; tracing,
+	// histograms, and the flight recorder stay on regardless.
+	Logger *slog.Logger
+	// FlightCapacity sizes each flight-recorder set — the N slowest
+	// and the N most recent errored/shed request timelines retained
+	// for /v1/debug/requests (<= 0 = 16).
+	FlightCapacity int
+
+	// disableObs strips per-request observability (trace IDs,
+	// timelines, histograms, flight recorder, access log). Test-only:
+	// the ≤2% overhead gate compares against this stripped path.
+	disableObs bool
 }
 
 func (c Config) defaultTimeout() time.Duration {
@@ -86,6 +102,9 @@ type Server struct {
 	// outcomes counts finished requests by op and outcome class, the
 	// daemon's contribution to /metrics beyond the registry families.
 	outcomes sync.Map // "op|outcome" -> *atomic.Uint64
+	// obs is the request-observability state: access logger, flight
+	// recorder, per-(op, outcome) latency histograms with exemplars.
+	obs *obs
 }
 
 // New builds a daemon server. Close it to tear down the plan
@@ -97,6 +116,7 @@ func New(cfg Config) *Server {
 		adm:      newAdmission(cfg.MaxInFlight),
 		matrices: make(map[string]*fbmpk.Matrix),
 		started:  time.Now(),
+		obs:      newObs(cfg),
 	}
 }
 
@@ -117,9 +137,11 @@ func (s *Server) Close() { s.reg.Close() }
 //	POST /v1/sspmv                sum coeffs[i] A^i x0
 //	POST /v1/solve                symmetric Gauss-Seidel sweeps for A x = b
 //	GET  /v1/matrices             resident matrices and their keys
+//	GET  /v1/debug/requests       flight recorder: slowest + recently failed request timelines
 //	GET  /healthz                 readiness probe
 //	GET  /metrics                 Prometheus text: daemon counters + plan cache
-//	/debug/vars, /debug/pprof, /trace   via RegistryDebugHandler
+//	GET  /trace                   flight-recorder timelines as a Chrome trace document
+//	/debug/vars, /debug/pprof     via RegistryDebugHandler
 //
 // The pre-versioning unversioned paths (/matrix, /mpk, ...) answer
 // with a 308 permanent redirect to their /v1 twin — method and body
@@ -132,6 +154,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sspmv", s.handleOp("sspmv"))
 	mux.HandleFunc("/v1/solve", s.handleOp("solve"))
 	mux.HandleFunc("/v1/matrices", s.handleList)
+	mux.HandleFunc("/v1/debug/requests", s.handleDebugRequests)
 	for _, p := range []string{"/matrix", "/mpk", "/sspmv", "/solve", "/matrices"} {
 		// 308, not 301: clients followed off the legacy alias must
 		// re-send the POST body, which 301 historically downgrades to GET.
@@ -142,12 +165,14 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	// The existing debug surface handles expvar, pprof and trace export;
-	// its own /metrics is superseded by the daemon's (which embeds the
-	// same registry families).
+	// The existing debug surface handles expvar and pprof; its own
+	// /metrics is superseded by the daemon's (which embeds the same
+	// registry families), and /trace by the flight-recorder export
+	// below (request timelines, not per-plan lanes — daemon plans run
+	// with no lane recorder attached).
 	dbg := fbmpk.RegistryDebugHandler(s.reg)
 	mux.Handle("/debug/", dbg)
-	mux.Handle("/trace", dbg)
+	mux.HandleFunc("/trace", s.handleFlightTrace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			writeErr(w, http.StatusNotFound, KindNotFound, "no such endpoint")
@@ -178,24 +203,26 @@ func (s *Server) matrix(key string) *fbmpk.Matrix {
 // JSON bodies are generator specs; anything else is parsed as a
 // MatrixMarket document.
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	q := s.begin(w, r, "upload")
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
+		q.fail(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
 		return
 	}
+	decStart := time.Now()
 	a, err := s.parseMatrixBody(w, r)
 	if err != nil {
-		s.uploadErr(w, http.StatusBadRequest, "%v", err)
+		q.fail(w, http.StatusBadRequest, KindBadRequest, err.Error())
 		return
 	}
 	key := fbmpk.PlanFingerprint(a, s.cfg.PlanOptions...).String()
+	q.phase("decode", decStart)
 
 	s.mu.Lock()
 	_, cached := s.matrices[key]
 	if !cached {
 		if len(s.matrices) >= s.cfg.maxMatrices() {
 			s.mu.Unlock()
-			s.count("upload", KindOverload)
-			writeErr(w, http.StatusInsufficientStorage, KindOverload,
+			q.fail(w, http.StatusInsufficientStorage, KindOverload,
 				fmt.Sprintf("matrix store at its %d-matrix limit", s.cfg.maxMatrices()))
 			return
 		}
@@ -203,16 +230,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 
-	s.count("upload", "ok")
-	writeJSON(w, http.StatusOK, UploadResponse{
+	q.ok(w, UploadResponse{
 		APIVersion: APIVersion,
 		Key:        key, Rows: a.Rows, Cols: a.Cols, NNZ: len(a.Val), Cached: cached,
 	})
-}
-
-func (s *Server) uploadErr(w http.ResponseWriter, status int, format string, args ...any) {
-	s.count("upload", KindBadRequest)
-	writeErr(w, status, KindBadRequest, fmt.Sprintf(format, args...))
 }
 
 // parseMatrixBody decodes the matrix body shared by upload and value
@@ -245,47 +266,46 @@ func (s *Server) parseMatrixBody(w http.ResponseWriter, r *http.Request) (*fbmpk
 // in-flight operations admitted before the swap finish bitwise on the
 // values they started with.
 func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
-	const op = "update"
 	key, sub, ok := strings.Cut(strings.TrimPrefix(r.URL.Path, "/v1/matrix/"), "/")
 	if !ok || sub != "values" || key == "" {
 		writeErr(w, http.StatusNotFound, KindNotFound, "no such endpoint")
 		return
 	}
+	q := s.begin(w, r, "update")
 	if r.Method != http.MethodPost {
-		writeErr(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
+		q.fail(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
 		return
 	}
 	if s.matrix(key) == nil {
-		s.count(op, KindNotFound)
-		writeErr(w, http.StatusNotFound, KindNotFound,
+		q.fail(w, http.StatusNotFound, KindNotFound,
 			fmt.Sprintf("no matrix with key %q (upload it via POST /v1/matrix)", key))
 		return
 	}
+	decStart := time.Now()
 	a, err := s.parseMatrixBody(w, r)
 	if err != nil {
-		s.count(op, KindBadRequest)
-		writeErr(w, http.StatusBadRequest, KindBadRequest, err.Error())
+		q.fail(w, http.StatusBadRequest, KindBadRequest, err.Error())
 		return
 	}
+	q.phase("decode", decStart)
 	// Updates do plan work — an O(nnz) swap, or a full build on the
 	// rebuild fallback — so they pass the same admission gate as
 	// operations.
 	if !s.adm.tryEnter() {
-		s.count(op, KindOverload)
-		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, KindOverload,
-			fmt.Sprintf("admission limit of %d concurrent requests reached", s.adm.limit()))
+		q.shed(w, fmt.Sprintf("admission limit of %d concurrent requests reached", s.adm.limit()))
 		return
 	}
 	defer s.adm.leave()
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.defaultTimeout())
+	ctx, cancel := context.WithTimeout(q.ctx(r), s.cfg.defaultTimeout())
 	defer cancel()
 
+	acqStart := time.Now()
 	plan, updated, err := s.reg.UpdateValuesCtx(ctx, a, s.cfg.PlanOptions...)
 	if err != nil {
-		s.opErr(w, op, err)
+		q.opErr(w, err)
 		return
 	}
+	q.phase("acquire", acqStart)
 	epoch := plan.Epoch()
 	defer s.reg.Release(plan) //nolint:errcheck // release of a just-acquired plan
 
@@ -297,8 +317,7 @@ func (s *Server) handleValues(w http.ResponseWriter, r *http.Request) {
 	s.matrices[newKey] = a
 	s.mu.Unlock()
 
-	s.count(op, "ok")
-	writeJSON(w, http.StatusOK, UpdateResponse{
+	q.ok(w, UpdateResponse{
 		APIVersion: APIVersion,
 		OldKey:     key, Key: newKey,
 		Rows: a.Rows, NNZ: len(a.Val),
@@ -341,47 +360,47 @@ func (s *Server) timeout(req *OpRequest) time.Duration {
 // point, and outcome-classified encoding.
 func (s *Server) handleOp(op string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		q := s.begin(w, r, op)
 		if r.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
+			q.fail(w, http.StatusMethodNotAllowed, KindBadRequest, "POST required")
 			return
 		}
 		if !s.adm.tryEnter() {
-			s.count(op, KindOverload)
-			// Shed immediately: admitted work finishes in about a request
-			// deadline at worst, so a constant small Retry-After is honest
-			// without tracking queue depth.
-			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, KindOverload,
-				fmt.Sprintf("admission limit of %d concurrent requests reached", s.adm.limit()))
+			// Shed immediately; the Retry-After hint quotes the op's own
+			// observed median service time back to the client.
+			q.shed(w, fmt.Sprintf("admission limit of %d concurrent requests reached", s.adm.limit()))
 			return
 		}
 		defer s.adm.leave()
 
+		decStart := time.Now()
 		var req OpRequest
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.maxBody())).Decode(&req); err != nil {
-			s.count(op, KindBadRequest)
-			writeErr(w, http.StatusBadRequest, KindBadRequest, fmt.Sprintf("decoding request: %v", err))
+			q.fail(w, http.StatusBadRequest, KindBadRequest, fmt.Sprintf("decoding request: %v", err))
 			return
 		}
+		q.phase("decode", decStart)
 		a := s.matrix(req.Matrix)
 		if a == nil {
-			s.count(op, KindNotFound)
-			writeErr(w, http.StatusNotFound, KindNotFound,
+			q.fail(w, http.StatusNotFound, KindNotFound,
 				fmt.Sprintf("no matrix with key %q (upload it via POST /v1/matrix)", req.Matrix))
 			return
 		}
 
 		// The deadline covers plan acquisition (including a coalesced
 		// wait on another request's build) and the execution itself;
-		// r.Context() chains client disconnects in as cancellation.
-		ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&req))
+		// r.Context() chains client disconnects in as cancellation, and
+		// q.ctx threads the phase timeline into both layers.
+		ctx, cancel := context.WithTimeout(q.ctx(r), s.timeout(&req))
 		defer cancel()
 
+		acqStart := time.Now()
 		plan, err := s.reg.AcquireCtx(ctx, a, s.cfg.PlanOptions...)
 		if err != nil {
-			s.opErr(w, op, err)
+			q.opErr(w, err)
 			return
 		}
+		q.phase("acquire", acqStart)
 		defer s.reg.Release(plan) //nolint:errcheck // release of a just-acquired plan
 
 		start := time.Now()
@@ -409,11 +428,12 @@ func (s *Server) handleOp(op string) http.HandlerFunc {
 		}
 		elapsed := time.Since(start)
 		if err != nil {
-			s.opErr(w, op, err)
+			q.opErr(w, err)
 			return
 		}
 
-		resp := OpResponse{APIVersion: APIVersion, Op: op, N: len(out), ElapsedNS: elapsed.Nanoseconds()}
+		resp := OpResponse{APIVersion: APIVersion, Op: op, N: len(out),
+			ElapsedNS: elapsed.Nanoseconds(), TraceID: q.traceID()}
 		switch req.Return {
 		case ReturnNone:
 		case ReturnChecksum:
@@ -421,13 +441,11 @@ func (s *Server) handleOp(op string) http.HandlerFunc {
 		case "", ReturnFull:
 			resp.Result = out
 		default:
-			s.count(op, KindBadRequest)
-			writeErr(w, http.StatusBadRequest, KindBadRequest,
+			q.fail(w, http.StatusBadRequest, KindBadRequest,
 				fmt.Sprintf("unknown return shape %q", req.Return))
 			return
 		}
-		s.count(op, "ok")
-		writeJSON(w, http.StatusOK, resp)
+		q.ok(w, resp)
 	}
 }
 
@@ -439,11 +457,12 @@ func (s *Server) x0(req *OpRequest, n int) []float64 {
 	return DefaultVector(n)
 }
 
-// opErr maps an execution error onto status + kind. The error text is
-// passed through verbatim, so a deadline failure surfaces the wrapped
-// context.DeadlineExceeded message the *Ctx entry points produce.
-func (s *Server) opErr(w http.ResponseWriter, op string, err error) {
-	status, kind := http.StatusInternalServerError, KindInternal
+// classifyErr maps an execution error onto status + kind. The error
+// text is passed through verbatim, so a deadline failure surfaces the
+// wrapped context.DeadlineExceeded message the *Ctx entry points
+// produce.
+func classifyErr(err error) (status int, kind string) {
+	status, kind = http.StatusInternalServerError, KindInternal
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		status, kind = http.StatusGatewayTimeout, KindDeadline
@@ -458,8 +477,13 @@ func (s *Server) opErr(w http.ResponseWriter, op string, err error) {
 		errors.Is(err, fbmpk.ErrInvalidMatrix), errors.Is(err, fbmpk.ErrNotSquare):
 		status, kind = http.StatusBadRequest, KindBadRequest
 	}
-	s.count(op, kind)
-	writeErr(w, status, kind, err.Error())
+	return status, kind
+}
+
+// opErr settles the scope with an execution error.
+func (q *reqScope) opErr(w http.ResponseWriter, err error) {
+	status, kind := classifyErr(err)
+	q.fail(w, status, kind, err.Error())
 }
 
 // count bumps the per-(op, outcome) request counter.
@@ -472,48 +496,107 @@ func (s *Server) count(op, outcome string) {
 	c.(*atomic.Uint64).Add(1)
 }
 
-// handleMetrics renders the daemon's own counters followed by the
-// plan-cache families, as one Prometheus text document.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+// handleDebugRequests serves the flight-recorder capture: the N
+// slowest request timelines since startup and the N most recent
+// errored/shed ones, trace IDs and phase breakdowns included.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	slowest, failures, seen := s.obs.flight.snapshot()
+	writeJSON(w, http.StatusOK, DebugRequestsResponse{
+		APIVersion:   APIVersion,
+		RequestsSeen: seen,
+		Slowest:      slowest,
+		RecentErrors: failures,
+	})
+}
 
-	type kv struct {
-		key string
-		n   uint64
+// handleFlightTrace renders the flight-recorder timelines as one
+// Chrome trace-event document (one row per retained request, aligned
+// on a shared time axis), loadable in Perfetto.
+func (s *Server) handleFlightTrace(w http.ResponseWriter, _ *http.Request) {
+	slowest, failures, _ := s.obs.flight.snapshot()
+	entries := append(slowest, failures...)
+	var origin time.Time
+	for _, e := range entries {
+		if origin.IsZero() || e.Start.Before(origin) {
+			origin = e.Start
+		}
 	}
-	var counts []kv
+	tls := make([]events.TimelineExport, len(entries))
+	for i, e := range entries {
+		tls[i] = events.TimelineExport{
+			Name: fmt.Sprintf("%s %s %s (%v)", e.Op, e.Outcome,
+				shortTrace(e.TraceID), e.Total.Round(time.Microsecond)),
+			Trace:  e.TraceID,
+			Start:  e.Start.Sub(origin),
+			Total:  e.Total,
+			Phases: e.Phases,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = events.WriteChromeTimelines(w, tls)
+}
+
+func shortTrace(id string) string {
+	if len(id) > 8 {
+		return id[:8]
+	}
+	return id
+}
+
+// handleMetrics renders the daemon families (via the shared expo
+// writer, request histograms with trace-ID exemplars included)
+// followed by the plan-cache families, as one text document.
+// ?exemplars=0 drops the OpenMetrics exemplar suffixes for strict
+// classic-format parsers.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	snap := s.daemonSnapshot()
+	if r != nil && r.URL.Query().Get("exemplars") == "0" {
+		for i := range snap.Latency {
+			snap.Latency[i].Exemplar = nil
+		}
+	}
+	_ = expo.WriteDaemonMetrics(w, snap)
+	_ = expo.WriteRegistryMetrics(w, expo.RegistrySnapshot{Name: "registry", Stats: s.reg.Stats()})
+}
+
+// daemonSnapshot captures the daemon-side metric state.
+func (s *Server) daemonSnapshot() expo.DaemonSnapshot {
+	var counts []expo.DaemonRequestCount
 	s.outcomes.Range(func(k, v any) bool {
-		counts = append(counts, kv{k.(string), v.(*atomic.Uint64).Load()})
+		op, outcome, _ := strings.Cut(k.(string), "|")
+		counts = append(counts, expo.DaemonRequestCount{
+			Op: op, Outcome: outcome, Count: v.(*atomic.Uint64).Load(),
+		})
 		return true
 	})
-	sort.Slice(counts, func(i, j int) bool { return counts[i].key < counts[j].key })
-
-	fmt.Fprintln(w, "# HELP fbmpkd_requests_total Finished requests by op and outcome.")
-	fmt.Fprintln(w, "# TYPE fbmpkd_requests_total counter")
-	for _, c := range counts {
-		op, outcome, _ := strings.Cut(c.key, "|")
-		fmt.Fprintf(w, "fbmpkd_requests_total{op=%q,outcome=%q} %d\n", op, outcome, c.n)
-	}
-	fmt.Fprintln(w, "# HELP fbmpkd_rejected_total Requests shed at the admission gate (429).")
-	fmt.Fprintln(w, "# TYPE fbmpkd_rejected_total counter")
-	fmt.Fprintf(w, "fbmpkd_rejected_total %d\n", s.adm.rejected.Load())
-	fmt.Fprintln(w, "# HELP fbmpkd_inflight Currently admitted requests.")
-	fmt.Fprintln(w, "# TYPE fbmpkd_inflight gauge")
-	fmt.Fprintf(w, "fbmpkd_inflight %d\n", s.adm.inFlight())
-	fmt.Fprintln(w, "# HELP fbmpkd_admission_limit Admission gate capacity.")
-	fmt.Fprintln(w, "# TYPE fbmpkd_admission_limit gauge")
-	fmt.Fprintf(w, "fbmpkd_admission_limit %d\n", s.adm.limit())
+	sort.Slice(counts, func(i, j int) bool {
+		if counts[i].Op != counts[j].Op {
+			return counts[i].Op < counts[j].Op
+		}
+		return counts[i].Outcome < counts[j].Outcome
+	})
+	lats := s.obs.snapshotHists()
+	sort.Slice(lats, func(i, j int) bool {
+		if lats[i].Op != lats[j].Op {
+			return lats[i].Op < lats[j].Op
+		}
+		return lats[i].Outcome < lats[j].Outcome
+	})
 	s.mu.RLock()
 	resident := len(s.matrices)
 	s.mu.RUnlock()
-	fmt.Fprintln(w, "# HELP fbmpkd_matrices Resident uploaded matrices.")
-	fmt.Fprintln(w, "# TYPE fbmpkd_matrices gauge")
-	fmt.Fprintf(w, "fbmpkd_matrices %d\n", resident)
-	fmt.Fprintln(w, "# HELP fbmpkd_uptime_seconds Seconds since daemon start.")
-	fmt.Fprintln(w, "# TYPE fbmpkd_uptime_seconds gauge")
-	fmt.Fprintf(w, "fbmpkd_uptime_seconds %g\n", time.Since(s.started).Seconds())
-
-	_ = expo.WriteRegistryMetrics(w, expo.RegistrySnapshot{Name: "registry", Stats: s.reg.Stats()})
+	return expo.DaemonSnapshot{
+		GoVersion:      runtime.Version(),
+		APIVersion:     APIVersion,
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		InFlight:       s.adm.inFlight(),
+		AdmissionLimit: s.adm.limit(),
+		Matrices:       resident,
+		Rejected:       s.adm.rejected.Load(),
+		Requests:       counts,
+		Latency:        lats,
+	}
 }
 
 // writeJSON encodes v as the response body with the given status.

@@ -8,8 +8,10 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httptrace"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -312,6 +314,11 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatalf("warm: %d %+v", status, e)
 	}
 
+	// A dedicated client so every connection is fresh: Shutdown reaps
+	// pooled idle connections, which would force a mid-drain redial
+	// into the closed listener.
+	client := &http.Client{}
+	var connected atomic.Int32
 	const clients = 4
 	type result struct {
 		status int
@@ -321,7 +328,16 @@ func TestGracefulDrain(t *testing.T) {
 	for i := 0; i < clients; i++ {
 		go func() {
 			body, _ := json.Marshal(OpRequest{Matrix: key, K: k, Return: ReturnChecksum})
-			resp, err := http.Post(base+"/v1/mpk", "application/json", bytes.NewReader(body))
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/mpk", bytes.NewReader(body))
+			if err != nil {
+				results <- result{status: -1}
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			trace := &httptrace.ClientTrace{
+				GotConn: func(httptrace.GotConnInfo) { connected.Add(1) },
+			}
+			resp, err := client.Do(req.WithContext(httptrace.WithClientTrace(req.Context(), trace)))
 			if err != nil {
 				results <- result{status: -1}
 				return
@@ -336,9 +352,14 @@ func TestGracefulDrain(t *testing.T) {
 		}()
 	}
 
-	// Wait until the requests are genuinely in flight, then drain. If
-	// the machine is fast enough that they all finished already, the
-	// drain still has to come back clean.
+	// Wait until every client holds an established connection — a
+	// connection accepted before Shutdown is drained to completion, one
+	// still dialing would be refused — and the work is genuinely in
+	// flight, then drain. If the machine is fast enough that requests
+	// already finished, the drain still has to come back clean.
+	for i := 0; i < 20000 && connected.Load() < clients; i++ {
+		time.Sleep(100 * time.Microsecond)
+	}
 	for i := 0; i < 1000 && s.adm.inFlight() == 0; i++ {
 		time.Sleep(100 * time.Microsecond)
 	}

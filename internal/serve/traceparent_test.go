@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const validTP = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+
+func TestParseTraceparentValid(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    string
+		trace string
+		flags byte
+	}{
+		{"spec example", validTP, "4bf92f3577b34da6a3ce929d0e0e4736", 0x01},
+		{"unsampled", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", "4bf92f3577b34da6a3ce929d0e0e4736", 0x00},
+		{"future version extra tail", "cc-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extrastuff", "4bf92f3577b34da6a3ce929d0e0e4736", 0x01},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			tc, err := ParseTraceparent(c.in)
+			if err != nil {
+				t.Fatalf("ParseTraceparent(%q): %v", c.in, err)
+			}
+			if tc.TraceIDString() != c.trace {
+				t.Fatalf("trace ID %q, want %q", tc.TraceIDString(), c.trace)
+			}
+			if tc.Flags != c.flags {
+				t.Fatalf("flags %02x, want %02x", tc.Flags, c.flags)
+			}
+		})
+	}
+}
+
+func TestParseTraceparentMalformed(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"garbage", "not-a-traceparent"},
+		{"three fields", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7"},
+		{"version 00 extra field", validTP + "-extra"},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"uppercase version", "0A-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"short trace id", "00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01"},
+		{"long trace id", "00-4bf92f3577b34da6a3ce929d0e0e473600-00f067aa0ba902b7-01"},
+		{"all-zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"all-zero parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"non-hex trace id", "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01"},
+		{"short parent id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01"},
+		{"bad flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0x"},
+		{"long flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0101"},
+		{"whitespace", " " + validTP},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseTraceparent(c.in); !errors.Is(err, ErrTraceparent) {
+				t.Fatalf("ParseTraceparent(%q) err = %v, want ErrTraceparent", c.in, err)
+			}
+		})
+	}
+}
+
+func TestNewTraceContextWellFormed(t *testing.T) {
+	tc := NewTraceContext()
+	if tc.Flags != 0x01 {
+		t.Fatalf("generated flags %02x, want 01 (sampled)", tc.Flags)
+	}
+	back, err := ParseTraceparent(tc.String())
+	if err != nil {
+		t.Fatalf("generated header %q does not parse: %v", tc.String(), err)
+	}
+	if back != tc {
+		t.Fatalf("round trip %+v != %+v", back, tc)
+	}
+	if NewTraceContext().TraceIDString() == tc.TraceIDString() {
+		t.Fatal("two generated contexts share a trace ID")
+	}
+	if len(tc.TraceIDString()) != 32 || strings.ToLower(tc.TraceIDString()) != tc.TraceIDString() {
+		t.Fatalf("trace ID string %q not 32 lowercase hex chars", tc.TraceIDString())
+	}
+}
+
+// FuzzTraceparent asserts the parser never panics and that every
+// accepted header renders back to a header the parser accepts with the
+// same trace ID (the continuation invariant the daemon relies on).
+func FuzzTraceparent(f *testing.F) {
+	seeds := []string{
+		validTP,
+		"",
+		"00--00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-",
+		"ff-ffffffffffffffffffffffffffffffff-ffffffffffffffff-ff",
+		strings.Repeat("-", 64),
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("0", 16) + "-00",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, err := ParseTraceparent(h)
+		if err != nil {
+			if !errors.Is(err, ErrTraceparent) {
+				t.Fatalf("non-ErrTraceparent error %v for %q", err, h)
+			}
+			return
+		}
+		rendered := tc.String()
+		back, err := ParseTraceparent(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but re-render %q rejected: %v", h, rendered, err)
+		}
+		if back.TraceIDString() != tc.TraceIDString() {
+			t.Fatalf("trace ID changed across render round trip: %q -> %q", tc.TraceIDString(), back.TraceIDString())
+		}
+	})
+}
