@@ -148,6 +148,23 @@ func checkReport(path string) error {
 		if m.SpMVs == 0 {
 			return fmt.Errorf("%s: plan %q recorded no SpMVs", path, label)
 		}
+		if strings.HasPrefix(label, "levelblock:") {
+			// The level-blocked engine (and an auto plan that resolved to
+			// it) touches each stored entry once per power, so its logical
+			// ReadsPerSpMV is ~1 — its savings are cache-residency, audited
+			// by the cachesim traffic gate, not by this counter. The FB
+			// control in the same experiment must stay on the FB budget.
+			if strings.HasPrefix(label, "levelblock:fb:") {
+				if m.ReadsPerSpMV <= 0 || m.ReadsPerSpMV > 0.75 {
+					return fmt.Errorf("%s: FB control plan %q reads A %.3f times per SpMV, want in (0, 0.75]",
+						path, label, m.ReadsPerSpMV)
+				}
+			} else if m.ReadsPerSpMV <= 0 || m.ReadsPerSpMV > 1.001 {
+				return fmt.Errorf("%s: level-blocked plan %q reads A %.3f times per SpMV, want in (0, 1]",
+					path, label, m.ReadsPerSpMV)
+			}
+			continue
+		}
 		if strings.HasPrefix(label, "baseline:") || strings.HasPrefix(label, "autotune:") {
 			// Standard-engine plans (the FB baselines and both sides of
 			// the autotune comparison) read A exactly once per SpMV
@@ -171,6 +188,25 @@ func checkReport(path string) error {
 	// a backend its own measurement saw losing to CSR — a non-CSR
 	// winner's sampled time must be strictly below the CSR baseline's.
 	for _, tr := range rep.Tunings {
+		if tr.Experiment == "levelblock" {
+			// Engine arbitration verdicts: the decision must carry both
+			// traffic models, and a blocking winner must be supported by
+			// its own model — level blocking may never be selected while
+			// modeled to move more matrix bytes than the FB pipeline.
+			e := tr.Decision.Engine
+			if e == nil {
+				return fmt.Errorf("%s: tuning %q carries no engine verdict", path, tr.Matrix)
+			}
+			if e.FBModelBytes <= 0 || e.LBModelBytes <= 0 {
+				return fmt.Errorf("%s: tuning %q has degenerate traffic models (fb %d, lb %d)",
+					path, tr.Matrix, e.FBModelBytes, e.LBModelBytes)
+			}
+			if e.Engine == core.EngineLevelBlocked && e.LBModelBytes > e.FBModelBytes {
+				return fmt.Errorf("%s: tuning %q selected level blocking against its own traffic model (lb %d > fb %d bytes)",
+					path, tr.Matrix, e.LBModelBytes, e.FBModelBytes)
+			}
+			continue
+		}
 		var winner, csr *core.TuneCandidate
 		for i := range tr.Decision.Candidates {
 			c := &tr.Decision.Candidates[i]

@@ -33,16 +33,17 @@ func main() {
 		export  = flag.String("export", "", "write the matrix to this .mtx path")
 		details = flag.Bool("details", true, "print split/ordering details for single matrices")
 		tune    = flag.Bool("tune", true, "print the backend autotuner verdict for single matrices")
+		threads = flag.Int("threads", 0, "worker count the engine arbitration measures at (0 = serial)")
 	)
 	flag.Parse()
 
-	if err := run(*file, *matrix, *scale, *seed, *export, *details, *tune); err != nil {
+	if err := run(*file, *matrix, *scale, *seed, *export, *details, *tune, *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "matinfo:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, matrix string, scale float64, seed uint64, export string, details, tune bool) error {
+func run(file, matrix string, scale float64, seed uint64, export string, details, tune bool, threads int) error {
 	if file == "" && matrix == "" {
 		// Whole-suite Table II.
 		return bench.Table2(os.Stdout, bench.Config{Scale: scale, Seed: seed, Runs: 1})
@@ -96,7 +97,7 @@ func run(file, matrix string, scale float64, seed uint64, export string, details
 	}
 
 	if tune {
-		printTuneVerdict(a)
+		printTuneVerdict(a, threads)
 	}
 
 	if export != "" {
@@ -112,7 +113,7 @@ func run(file, matrix string, scale float64, seed uint64, export string, details
 // its candidate table: modeled traffic per nonzero, the sampled
 // bandwidth of every measured candidate, and the winner the registry
 // would cache for this structure.
-func printTuneVerdict(a *fbmpk.Matrix) {
+func printTuneVerdict(a *fbmpk.Matrix, threads int) {
 	dec, err := fbmpk.Autotune(a)
 	if err != nil {
 		fmt.Printf("  autotune     error: %v\n", err)
@@ -137,6 +138,28 @@ func printTuneVerdict(a *fbmpk.Matrix) {
 		}
 		fmt.Printf("    %-14s %14.2f %12s %8s\n", describeCandidate(c), c.ModelBytesPerNNZ, gbps, verdict)
 	}
+	printEngineVerdict(a, threads)
+}
+
+// printEngineVerdict runs the MPK engine arbitration (ABMC-FB vs
+// level-blocked, the EngineAuto decision) at the default tuning power
+// and prints both traffic models plus the measured tie-break samples
+// when the matrix was small enough to measure.
+func printEngineVerdict(a *fbmpk.Matrix, threads int) {
+	dec, err := fbmpk.AutotuneEngine(a, 0, 0, threads)
+	if err != nil {
+		fmt.Printf("  engine       error: %v\n", err)
+		return
+	}
+	line := fmt.Sprintf("  engine       %s at k=%d (model fb %dB vs lb %dB; %d levels in %d blocks",
+		dec.Engine, dec.K, dec.FBModelBytes, dec.LBModelBytes, dec.NumLevels, dec.NumBlocks)
+	if dec.Samples > 0 {
+		line += fmt.Sprintf("; sampled fb %dns vs lb %dns", dec.FBSampleNs, dec.LBSampleNs)
+		if dec.Threads > 0 {
+			line += fmt.Sprintf(" at %d threads", dec.Threads)
+		}
+	}
+	fmt.Println(line + ")")
 }
 
 // describeCandidate names a tuner candidate with its format

@@ -6,35 +6,35 @@ import (
 )
 
 func TestMatinfoSuiteTable(t *testing.T) {
-	if err := run("", "", 0.001, 1, "", false, false); err != nil {
+	if err := run("", "", 0.001, 1, "", false, false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMatinfoSingleMatrixWithDetails(t *testing.T) {
-	if err := run("", "cant", 0.002, 1, "", true, true); err != nil {
+	if err := run("", "cant", 0.002, 1, "", true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMatinfoExportAndReload(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.mtx")
-	if err := run("", "shipsec1", 0.001, 1, path, false, false); err != nil {
+	if err := run("", "shipsec1", 0.001, 1, path, false, false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", 0, 0, "", true, true); err != nil {
+	if err := run(path, "", 0, 0, "", true, true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestMatinfoErrors(t *testing.T) {
-	if err := run("", "nope", 0.01, 1, "", false, false); err == nil {
+	if err := run("", "nope", 0.01, 1, "", false, false, 0); err == nil {
 		t.Error("accepted unknown matrix")
 	}
-	if err := run("/missing.mtx", "", 0, 0, "", false, false); err == nil {
+	if err := run("/missing.mtx", "", 0, 0, "", false, false, 0); err == nil {
 		t.Error("accepted missing file")
 	}
-	if err := run("", "cant", 0.001, 1, "/no/dir/x.mtx", false, false); err == nil {
+	if err := run("", "cant", 0.001, 1, "/no/dir/x.mtx", false, false, 0); err == nil {
 		t.Error("accepted unwritable export path")
 	}
 }

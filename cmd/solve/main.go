@@ -9,6 +9,7 @@
 //	solve -matrix ldoor -method power
 //	solve -file m.mtx -method cg
 //	solve -matrix audikw_1 -backend auto         # autotuned execution backend
+//	solve -matrix G3_circuit -engine auto        # arbitrate FBMPK vs level-blocked
 //	solve -matrix cant -trace solve.trace.json   # Chrome/Perfetto execution trace
 //	solve -matrix cant -http :6060 -linger 30s   # /metrics, /trace, /debug/pprof
 package main
@@ -39,6 +40,7 @@ func main() {
 		degree  = flag.Int("degree", 8, "chebyshev polynomial degree / krylov s")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "worker threads")
 		backend = flag.String("backend", "csr", "execution backend: csr | auto | sell | bsr")
+		engine  = flag.String("engine", "fbmpk", "MPK engine: fbmpk | standard | levelblock | auto")
 		cache   = flag.Bool("cache", false, "acquire the plan through a fingerprint-keyed plan registry (prints the cache key and counters; -http then also exposes fbmpk_cache_* metrics)")
 		metrics = flag.Bool("metrics", false, "print the plan's PlanMetrics snapshot (expvar JSON) after solving")
 		trace   = flag.String("trace", "", "record an execution trace of the solve and write Chrome trace-event JSON to this file")
@@ -46,18 +48,22 @@ func main() {
 		linger  = flag.Duration("linger", 0, "keep the -http debug server up this long after solving (0 with -http = until interrupted)")
 	)
 	flag.Parse()
-	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *backend, *cache, *metrics, *trace, *addr, *linger); err != nil {
+	if err := run(*file, *matrix, *scale, *seed, *method, *tol, *maxIter, *degree, *threads, *backend, *engine, *cache, *metrics, *trace, *addr, *linger); err != nil {
 		fmt.Fprintln(os.Stderr, "solve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, backend string, cache, metrics bool, traceFile, httpAddr string, linger time.Duration) error {
+func run(file, matrix string, scale float64, seed uint64, method string, tol float64, maxIter, degree, threads int, backend, engine string, cache, metrics bool, traceFile, httpAddr string, linger time.Duration) error {
 	bk, err := fbmpk.ParseBackend(backend)
 	if err != nil {
 		return err
 	}
-	planOpts := []fbmpk.Option{fbmpk.WithThreads(threads), fbmpk.WithBackend(bk)}
+	eng, err := fbmpk.ParseEngine(engine)
+	if err != nil {
+		return err
+	}
+	planOpts := []fbmpk.Option{fbmpk.WithThreads(threads), fbmpk.WithBackend(bk), fbmpk.WithEngine(eng)}
 	var a *fbmpk.Matrix
 	switch {
 	case file != "":
@@ -104,13 +110,30 @@ func run(file, matrix string, scale float64, seed uint64, method string, tol flo
 	fmt.Printf("plan build: %v (reorder %v, split %v)\n", bs.BuildTime, bs.ReorderTime, bs.SplitTime)
 	if bs.Backend != "" {
 		line := fmt.Sprintf("plan backend: %s", bs.Backend)
-		if tune := bs.Tune; tune != nil {
+		if tune := bs.Tune; tune != nil && len(tune.Candidates) > 0 {
 			if tune.FromCache {
 				line += " (autotuned, verdict from registry cache)"
 			} else {
 				line += fmt.Sprintf(" (autotuned in %v, %d samples over %d rows)",
 					bs.TuneTime, tune.Samples, tune.SampleRows)
 			}
+		}
+		fmt.Println(line)
+	}
+	if eng == fbmpk.EngineAuto || eng == fbmpk.EngineLevelBlocked {
+		line := fmt.Sprintf("plan engine: %s", plan.Engine())
+		if tune := bs.Tune; tune != nil && tune.Engine != nil {
+			e := tune.Engine
+			src := fmt.Sprintf("arbitrated at k=%d: model fb %dB vs lb %dB", e.K, e.FBModelBytes, e.LBModelBytes)
+			if e.FromCache {
+				src = "verdict from registry cache"
+			} else if e.Samples > 0 {
+				src += fmt.Sprintf(", sampled fb %dns vs lb %dns", e.FBSampleNs, e.LBSampleNs)
+				if e.Threads > 0 {
+					src += fmt.Sprintf(" at %d threads", e.Threads)
+				}
+			}
+			line += fmt.Sprintf(" (%s; %d levels in %d blocks)", src, e.NumLevels, e.NumBlocks)
 		}
 		fmt.Println(line)
 	}

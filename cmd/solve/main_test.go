@@ -26,7 +26,7 @@ func TestSolveMethods(t *testing.T) {
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
-			if err := run("", c.matrix, 0.002, 1, c.method, c.tol, c.maxIter, c.degree, 2, "csr", false, true, "", "", 0); err != nil {
+			if err := run("", c.matrix, 0.002, 1, c.method, c.tol, c.maxIter, c.degree, 2, "csr", "fbmpk", false, true, "", "", 0); err != nil {
 				t.Fatal(err)
 			}
 		})
@@ -36,7 +36,7 @@ func TestSolveMethods(t *testing.T) {
 func TestSolveWithCache(t *testing.T) {
 	// -cache path: the plan comes from a registry Acquire and is handed
 	// back with Release; the solve must behave identically.
-	if err := run("", "cant", 0.002, 1, "cg", 1e-6, 200, 8, 2, "csr", true, false, "", "", 0); err != nil {
+	if err := run("", "cant", 0.002, 1, "cg", 1e-6, 200, 8, 2, "csr", "fbmpk", true, false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -44,23 +44,23 @@ func TestSolveWithCache(t *testing.T) {
 func TestSolvePowerReportsEvenUnconverged(t *testing.T) {
 	// The power method may not converge in a few iterations; run must
 	// still report the estimate without returning an error.
-	if err := run("", "ldoor", 0.001, 1, "power", 1e-12, 3, 4, 1, "csr", false, false, "", "", 0); err != nil {
+	if err := run("", "ldoor", 0.001, 1, "power", 1e-12, 3, 4, 1, "csr", "fbmpk", false, false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSolveErrors(t *testing.T) {
-	if err := run("", "", 0.01, 1, "cg", 1e-8, 10, 4, 1, "csr", false, false, "", "", 0); err == nil {
+	if err := run("", "", 0.01, 1, "cg", 1e-8, 10, 4, 1, "csr", "fbmpk", false, false, "", "", 0); err == nil {
 		t.Error("accepted missing source")
 	}
-	if err := run("", "cant", 0.002, 1, "bogus", 1e-8, 10, 4, 1, "csr", false, false, "", "", 0); err == nil {
+	if err := run("", "cant", 0.002, 1, "bogus", 1e-8, 10, 4, 1, "csr", "fbmpk", false, false, "", "", 0); err == nil {
 		t.Error("accepted unknown method")
 	}
 }
 
 func TestSolveWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "solve.trace.json")
-	if err := run("", "cant", 0.002, 1, "cg", 1e-6, 200, 8, 2, "csr", false, false, path, "", 0); err != nil {
+	if err := run("", "cant", 0.002, 1, "cg", 1e-6, 200, 8, 2, "csr", "fbmpk", false, false, path, "", 0); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(path)
@@ -85,12 +85,12 @@ func TestSolveBackends(t *testing.T) {
 	for _, backend := range []string{"sell", "bsr", "auto"} {
 		backend := backend
 		t.Run(backend, func(t *testing.T) {
-			if err := run("", "audikw_1", 0.002, 1, "cg", 1e-8, 500, 8, 2, backend, false, false, "", "", 0); err != nil {
+			if err := run("", "audikw_1", 0.002, 1, "cg", 1e-8, 500, 8, 2, backend, "fbmpk", false, false, "", "", 0); err != nil {
 				t.Fatal(err)
 			}
 		})
 	}
-	if err := run("", "cant", 0.002, 1, "cg", 1e-8, 10, 4, 1, "ellpack", false, false, "", "", 0); err == nil {
+	if err := run("", "cant", 0.002, 1, "cg", 1e-8, 10, 4, 1, "ellpack", "fbmpk", false, false, "", "", 0); err == nil {
 		t.Error("accepted unknown backend")
 	}
 }
@@ -98,7 +98,7 @@ func TestSolveBackends(t *testing.T) {
 func TestSolveCacheWithAutoBackend(t *testing.T) {
 	// -cache -backend auto: the registry caches the tuner verdict under
 	// the structure fingerprint; one-shot here, but must not error.
-	if err := run("", "cant", 0.002, 1, "cg", 1e-6, 200, 8, 2, "auto", true, false, "", "", 0); err != nil {
+	if err := run("", "cant", 0.002, 1, "cg", 1e-6, 200, 8, 2, "auto", "fbmpk", true, false, "", "", 0); err != nil {
 		t.Fatal(err)
 	}
 }

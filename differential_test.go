@@ -40,6 +40,11 @@ func engineCases(threads int) []engineCase {
 		{"fb/parallel/sep", Options{Engine: EngineForwardBackward, Threads: threads, NumBlocks: 8}},
 		{"fb/parallel/btb", Options{Engine: EngineForwardBackward, BtB: true, Threads: threads, NumBlocks: 8}},
 		{"fb/parallel/btb/rcm+abmc", Options{Engine: EngineForwardBackward, BtB: true, Threads: threads, PreRCM: true, NumBlocks: 8}},
+		{"lb/serial", Options{Engine: EngineLevelBlocked}},
+		{"lb/parallel", Options{Engine: EngineLevelBlocked, Threads: threads}},
+		{"lb/serial/tiny-blocks", Options{Engine: EngineLevelBlocked, LevelBlockBytes: 256}},
+		{"auto/serial", Options{Engine: EngineAuto, BtB: true}},
+		{"auto/parallel", Options{Engine: EngineAuto, BtB: true, Threads: threads, NumBlocks: 8}},
 	}
 	for i := range cases {
 		cases[i].opt.SelfCheck = true

@@ -208,6 +208,14 @@ func WithSELLSigma(s int) Option { return core.WithSELLSigma(s) }
 // structure).
 func WithBSRBlock(r int) Option { return core.WithBSRBlock(r) }
 
+// WithLevelBlockBytes sets the cache budget (bytes of matrix data) per
+// level block of the level-blocked engine (0 = DefaultLevelBlockBytes).
+func WithLevelBlockBytes(b int) Option { return core.WithLevelBlockBytes(b) }
+
+// WithTuneK sets the power k the EngineAuto arbitration optimizes for
+// (0 = DefaultTuneK).
+func WithTuneK(k int) Option { return core.WithTuneK(k) }
+
 // Engine selects the MPK pipeline.
 type Engine = core.Engine
 
@@ -217,7 +225,26 @@ const (
 	EngineStandard = core.EngineStandard
 	// EngineForwardBackward is the paper's FBMPK pipeline.
 	EngineForwardBackward = core.EngineForwardBackward
+	// EngineLevelBlocked groups BFS levels into cache-sized blocks and
+	// executes all k powers over each resident block — the LB-MPK line
+	// of related work (Alappat et al.), which trades k+1 live iterate
+	// vectors for ~1 read of A per k-power sequence. See the README
+	// "Level-blocked engine" section.
+	EngineLevelBlocked = core.EngineLevelBlocked
+	// EngineAuto arbitrates between EngineForwardBackward and
+	// EngineLevelBlocked per matrix at build time (see AutotuneEngine
+	// and WithTuneK); Plan.Engine reports the winner.
+	EngineAuto = core.EngineAuto
 )
+
+// DefaultLevelBlockBytes is the level-block cache budget used when
+// WithLevelBlockBytes is not given: half of the simulated reference
+// Xeon L3, leaving room for the live iterate-vector window.
+const DefaultLevelBlockBytes = core.DefaultLevelBlockBytes
+
+// DefaultTuneK is the power the EngineAuto arbitration optimizes for
+// when WithTuneK is not given.
+const DefaultTuneK = core.DefaultTuneK
 
 // BackendKind selects the storage format of the full-matrix SpMV/SpMM
 // kernels (standard-engine sweeps and the SpMM block path; FB sweeps
@@ -243,6 +270,10 @@ const (
 // its BackendKind; intended for command-line flags.
 func ParseBackend(s string) (BackendKind, error) { return core.ParseBackend(s) }
 
+// ParseEngine maps an engine name ("fbmpk", "standard", "levelblock",
+// "auto") to its Engine; intended for command-line flags.
+func ParseEngine(s string) (Engine, error) { return core.ParseEngine(s) }
+
 // TuneDecision is the autotuner's verdict for one matrix: the chosen
 // backend configuration plus the candidate table it was selected from.
 // Available from PlanStats.Tune on BackendAuto plans and from Autotune
@@ -252,6 +283,29 @@ type TuneDecision = core.TuneDecision
 // TuneCandidate is one (format, configuration) the autotuner
 // considered, with its modeled bytes/nnz and sampled throughput.
 type TuneCandidate = core.TuneCandidate
+
+// EngineDecision is the EngineAuto arbitration verdict: the chosen MPK
+// engine with the modeled DRAM traffic of both schedules and (for
+// matrices small enough to measure) the serial micro-benchmark times.
+// Available from PlanStats.Tune.Engine on EngineAuto plans and from
+// AutotuneEngine directly.
+type EngineDecision = core.EngineDecision
+
+// AutotuneEngine arbitrates between the forward-backward and
+// level-blocked engines for matrix a at power k (<= 0 = DefaultTuneK)
+// without building a plan — the same procedure NewPlan runs for
+// EngineAuto plans. blockBytes <= 0 selects DefaultLevelBlockBytes;
+// threads > 1 measures the parallel kernels the plan would run at that
+// worker count instead of the serial ones.
+func AutotuneEngine(a *Matrix, k, blockBytes, threads int) (*EngineDecision, error) {
+	if err := validMatrix(a); err != nil {
+		return nil, err
+	}
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("fbmpk: AutotuneEngine: %w", ErrNotSquare)
+	}
+	return core.AutotuneEngine(a, k, blockBytes, threads)
+}
 
 // Autotune runs the backend micro-benchmark selection for matrix a
 // without building a plan and returns the decision with its full
@@ -342,6 +396,18 @@ func StandardMPK(a *Matrix, x0 []float64, k int) ([]float64, error) {
 		return nil, err
 	}
 	return core.StandardMPK(a, x0, k, nil)
+}
+
+// LevelBlockedMPK computes A^k x0 with the serial level-blocked
+// schedule (blockBytes <= 0 = DefaultLevelBlockBytes) — the standalone
+// form of EngineLevelBlocked used by tests and tools; build a plan
+// with WithEngine(EngineLevelBlocked) for the pooled, parallel,
+// cancellable form.
+func LevelBlockedMPK(a *Matrix, x0 []float64, k int, blockBytes int) ([]float64, error) {
+	if err := validMatrix(a); err != nil {
+		return nil, err
+	}
+	return core.LevelBlockedMPK(a, x0, k, blockBytes, nil)
 }
 
 // validMatrix is the package-level error boundary for functions that

@@ -236,6 +236,75 @@ func FuzzDifferentialBackend(f *testing.F) {
 	})
 }
 
+// FuzzDifferentialLevelBlocked is the forced-engine variant for the
+// level-blocked schedule: the extra arguments pick the block budget
+// (including degenerate byte-sized budgets that force one level per
+// block) and the worker count. The standalone LevelBlockedMPK helper
+// and the plan path must both match the serial standard baseline, and
+// the parallel plan must be bitwise identical to the serial one — the
+// determinism contract of the even row-split schedule.
+func FuzzDifferentialLevelBlocked(f *testing.F) {
+	f.Add(int64(6), int64(3), int64(0), int64(1))
+	f.Add(int64(29), int64(7), int64(512), int64(4))
+	f.Add(int64(51), int64(1), int64(-9), int64(2))
+	f.Fuzz(func(t *testing.T, seed, kRaw, bbRaw, thRaw int64) {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(41)
+		kind := rng.Intn(4)
+		a := diffMatrix(rng, n, kind)
+		if kRaw < 0 {
+			kRaw = -kRaw
+		}
+		if thRaw < 0 {
+			thRaw = -thRaw
+		}
+		k := 1 + int(kRaw%8)
+		threads := 2 + int(thRaw%3)
+		bb := int(bbRaw % 100_000) // negative selects the default budget
+
+		x0 := diffVec(rng, n)
+		want, err := StandardMPK(a, x0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := LevelBlockedMPK(a, x0, k, bb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relMaxDiff(t, got, want); d > diffTol {
+			t.Fatalf("n=%d k=%d bb=%d standalone: deviation %g", n, k, bb, d)
+		}
+
+		ps, err := NewPlan(a, Options{Engine: EngineLevelBlocked, LevelBlockBytes: bb, SelfCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ps.Close()
+		pp, err := NewPlan(a, Options{Engine: EngineLevelBlocked, LevelBlockBytes: bb, Threads: threads, SelfCheck: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pp.Close()
+		gotS, err := ps.MPK(x0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotP, err := pp.MPK(x0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := relMaxDiff(t, gotS, want); d > diffTol {
+			t.Fatalf("n=%d k=%d bb=%d serial plan: deviation %g", n, k, bb, d)
+		}
+		for i := range gotS {
+			if gotS[i] != gotP[i] {
+				t.Fatalf("n=%d k=%d bb=%d threads=%d: parallel result not bitwise identical at %d: %g vs %g",
+					n, k, bb, threads, i, gotP[i], gotS[i])
+			}
+		}
+	})
+}
+
 // FuzzAPIBoundary hammers the error boundary with arbitrary bytes
 // interpreted as a raw CSR and call arguments. Every call must either
 // succeed or return an error wrapping an exported sentinel; a panic

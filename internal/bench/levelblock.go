@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"fbmpk/internal/core"
+	"fbmpk/internal/matgen"
+	"fbmpk/internal/sparse"
+)
+
+// bandedLevels generates the deep-level banded bar matrix the
+// level-blocked engine is built for: a 1D vector-DOF stencil whose BFS
+// level structure is ~NX levels deep, so blocks of consecutive levels
+// tile the band and the whole k-power sequence streams A about once.
+// The suite's FEM/circuit stand-ins collapse to a handful of levels
+// (periodic stencils have tiny diameters), which is exactly why the
+// engine autotuner exists — this generator provides the other regime.
+func bandedLevels(scale float64, seed uint64) *sparse.CSR {
+	nx := int(4_000_000 * scale)
+	if nx < 4096 {
+		nx = 4096
+	}
+	return matgen.Grid(matgen.GridParams{
+		NX: nx, NY: 1, NZ: 1, DOF: 4, Radius: 1,
+		KeepProb: 1, Symmetric: true, Seed: seed,
+	})
+}
+
+// LevelBlock contrasts the three MPK engines across the power depths
+// where the FB-vs-blocking trade flips: for each input and k in
+// {4, 6, 8} it times the ABMC-FB plan, the level-blocked plan, and the
+// EngineAuto plan arbitrating between them at that k, and records the
+// arbitration verdict (traffic models + measured tie-break samples)
+// in the report's Tunings. The matrix list is the suite subset plus
+// the synthetic "banded" deep-level matrix (selectable by that name
+// via -matrices). The -check gate audits the verdicts: a blocking
+// winner must be supported by its own traffic model.
+func LevelBlock(w io.Writer, cfg Config) error {
+	cfg = cfg.Normalize()
+
+	type input struct {
+		name string
+		m    *sparse.CSR
+	}
+	var inputs []input
+	wantBanded := true
+	suiteCfg := cfg
+	if len(cfg.Matrices) > 0 {
+		wantBanded = false
+		suiteCfg.Matrices = nil
+		for _, n := range cfg.Matrices {
+			if n == "banded" {
+				wantBanded = true
+			} else {
+				suiteCfg.Matrices = append(suiteCfg.Matrices, n)
+			}
+		}
+	}
+	if len(cfg.Matrices) == 0 || len(suiteCfg.Matrices) > 0 {
+		specs, err := suiteCfg.suite()
+		if err != nil {
+			return err
+		}
+		for i := range specs {
+			s := &specs[i]
+			inputs = append(inputs, input{s.Name, s.Generate(cfg.Scale, cfg.Seed)})
+		}
+	}
+	if wantBanded {
+		inputs = append(inputs, input{"banded", bandedLevels(cfg.Scale, cfg.Seed)})
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Engine arbitration: ABMC-FB vs level-blocked vs auto (scale=%g, threads=%d)",
+			cfg.Scale, cfg.Threads),
+		Header: []string{"input", "k", "levels", "blocks", "auto pick", "FB MPK", "LB MPK", "auto MPK", "FB/LB"},
+	}
+	for _, in := range inputs {
+		x0 := detVec(in.m.Rows, cfg.Seed)
+		for _, k := range []int{4, 6, 8} {
+			pfb, err := core.NewPlan(in.m,
+				core.WithEngine(core.EngineForwardBackward), core.WithBtB(true), core.WithThreads(cfg.Threads))
+			if err != nil {
+				return err
+			}
+			plb, err := core.NewPlan(in.m,
+				core.WithEngine(core.EngineLevelBlocked), core.WithThreads(cfg.Threads))
+			if err != nil {
+				pfb.Close()
+				return err
+			}
+			pauto, err := core.NewPlan(in.m,
+				core.WithEngine(core.EngineAuto), core.WithBtB(true), core.WithTuneK(k), core.WithThreads(cfg.Threads))
+			if err != nil {
+				pfb.Close()
+				plb.Close()
+				return err
+			}
+
+			tFB := timeMPK(cfg, pfb, x0, k)
+			tLB := timeMPK(cfg, plb, x0, k)
+			tAuto := timeMPK(cfg, pauto, x0, k)
+			st := plb.Stats()
+			t.AddRow(in.name, fmt.Sprint(k), fmt.Sprint(st.NumLevels), fmt.Sprint(st.NumBlocks),
+				pauto.Engine().String(),
+				tFB.GeoMean.String(), tLB.GeoMean.String(), tAuto.GeoMean.String(),
+				f2(float64(tFB.GeoMean)/float64(tLB.GeoMean)))
+
+			label := fmt.Sprintf("%s@k%d", in.name, k)
+			cfg.RecordPlan("levelblock", "levelblock:fb:"+label, pfb)
+			cfg.RecordPlan("levelblock", "levelblock:lb:"+label, plb)
+			cfg.RecordPlan("levelblock", "levelblock:auto:"+label, pauto)
+			if tune := pauto.Stats().Tune; tune != nil {
+				cfg.RecordTuning("levelblock", label, *tune, tFB.GeoMean, tAuto.GeoMean)
+			}
+			pfb.Close()
+			plb.Close()
+			pauto.Close()
+		}
+	}
+	return cfg.Emit(w, t)
+}

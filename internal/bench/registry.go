@@ -35,6 +35,7 @@ func Registry() []Experiment {
 		{"abl-wavefront", "Ablation: FBMPK vs level-based (LB-MPK-style) traffic", AblationWavefront},
 		{"abl-multirhs", "Ablation: batched multi-RHS FBMPK vs m independent runs", MultiRHS},
 		{"autotune", "Backend autotuner verdicts + autotuned vs CSR at full scale", Autotune},
+		{"levelblock", "Engine arbitration: ABMC-FB vs level-blocked vs auto across k", LevelBlock},
 		{"serving", "Serving: concurrent callers on one shared plan + metrics", Serving},
 		{"serving-cache", "Serving: plan registry amortization + singleflight coalescing", ServingCache},
 		{"streaming", "Streaming: in-place value updates vs plan rebuilds across update:solve ratios", Streaming},
@@ -79,7 +80,7 @@ func Run(w io.Writer, cfg Config, names []string) error {
 				// the autotuner study, and the streaming-update study are
 				// opt-in.
 				if !strings.HasPrefix(e.Name, "abl-") && !strings.HasPrefix(e.Name, "serving") &&
-					e.Name != "autotune" && e.Name != "streaming" {
+					e.Name != "autotune" && e.Name != "levelblock" && e.Name != "streaming" {
 					want[e.Name] = true
 				}
 			}

@@ -185,6 +185,64 @@ func TraceWavefrontMPK(c *Cache, a *sparse.CSR, ws WavefrontSchedule, k int) {
 	c.Flush()
 }
 
+// LevelBlockSchedule is the level-blocked engine's schedule on the
+// level-permuted matrix: LevelPtr delimits the (contiguous) permuted
+// row range of each BFS level, BlockPtr groups consecutive levels into
+// cache-budget blocks in the core.GroupLevels layout (block b covers
+// levels [BlockPtr[b], BlockPtr[b+1]), BlockPtr[len-1] = NumLevels).
+type LevelBlockSchedule struct {
+	LevelPtr []int32
+	BlockPtr []int32
+}
+
+// TraceLevelBlockedMPK replays the skewed level-blocked MPK schedule
+// (core.levelBlockedMPK) against the level-permuted matrix a: one pass
+// per block plus an epilogue pass, each pass running powers p = 1..k
+// over the block's level window shifted down by p-1 and clamped. All
+// k+1 iterate vectors are live, but each pass's working set is one
+// block plus its skew tail, so with a block budget of half the cache
+// the matrix ideally crosses the bus about once for the whole k-power
+// sequence — the LB-MPK effect the engine autotuner models.
+func TraceLevelBlockedMPK(c *Cache, a *sparse.CSR, s LevelBlockSchedule, k int) {
+	var l layout
+	r := placeCSR(&l, a)
+	xs := make([]uint64, k+1)
+	for p := range xs {
+		xs[p] = l.alloc(int64(a.Rows) * 8)
+	}
+	nl := len(s.LevelPtr) - 1
+	nb := len(s.BlockPtr) - 1
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > nl {
+			return nl
+		}
+		return v
+	}
+	for b := 0; b <= nb; b++ {
+		bLo := int(s.BlockPtr[b])
+		bHi := nl + k - 1 // epilogue pass drains the skewed tail
+		if b < nb {
+			bHi = int(s.BlockPtr[b+1])
+		}
+		for p := 1; p <= k; p++ {
+			lo := clamp(bLo - (p - 1))
+			hi := clamp(bHi - (p - 1))
+			if lo >= hi {
+				continue
+			}
+			src, dst := xs[p-1], xs[p]
+			traceSpMVRows(c, a, r,
+				func(i int32) uint64 { return src + uint64(i)*8 },
+				func(i int) uint64 { return dst + uint64(i)*8 },
+				int(s.LevelPtr[lo]), int(s.LevelPtr[hi]))
+		}
+	}
+	c.Flush()
+}
+
 // TraceSpMV replays one standalone SpMV, the unit both Table III and
 // Fig 11 normalize against.
 func TraceSpMV(c *Cache, a *sparse.CSR) {

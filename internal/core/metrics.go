@@ -64,6 +64,7 @@ const (
 	// earlier phase indices stay stable for trace consumers.
 	phaseStandardSELL // standard-engine sweeps on the SELL-C-sigma backend
 	phaseStandardBSR  // standard-engine sweeps on the BSR backend
+	phaseLevel        // level-blocked engine block passes
 	numPhases
 )
 
@@ -75,6 +76,7 @@ var phaseNames = [numPhases]string{
 	phaseSymGS:        "symgs",
 	phaseStandardSELL: "standard_sell",
 	phaseStandardBSR:  "standard_bsr",
+	phaseLevel:        "level",
 }
 
 // regionNames are the static labels mirrored into runtime/trace
@@ -88,6 +90,7 @@ var regionNames = [numPhases]string{
 	phaseSymGS:        "fbmpk.symgs",
 	phaseStandardSELL: "fbmpk.standard_sell",
 	phaseStandardBSR:  "fbmpk.standard_bsr",
+	phaseLevel:        "fbmpk.level",
 }
 
 var opRegionNames = [numOps]string{

@@ -109,6 +109,20 @@ func WithBSRBlock(r int) Option {
 	return optionFunc(func(o *Options) { o.BSRBlock = r })
 }
 
+// WithLevelBlockBytes sets the cache budget (bytes of matrix data) per
+// level block of the level-blocked engine (0 = DefaultLevelBlockBytes,
+// half the simulated Xeon L3). Ignored by the other engines.
+func WithLevelBlockBytes(b int) Option {
+	return optionFunc(func(o *Options) { o.LevelBlockBytes = b })
+}
+
+// WithTuneK sets the power k the EngineAuto arbitration optimizes for
+// (0 = DefaultTuneK). The verdict is cached per (structure, options)
+// key, so plans tuned for different k arbitrate independently.
+func WithTuneK(k int) Option {
+	return optionFunc(func(o *Options) { o.TuneK = k })
+}
+
 // WithTunedDecision injects a cached autotuner verdict: a BackendAuto
 // plan replays the decision instead of sampling. The registry uses
 // this to serve its structure-keyed verdict cache; no-op for other

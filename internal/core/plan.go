@@ -26,6 +26,14 @@ const (
 	EngineStandard Engine = iota
 	// EngineForwardBackward is the paper's FBMPK pipeline.
 	EngineForwardBackward
+	// EngineLevelBlocked is the level-blocked cache engine: BFS levels
+	// grouped into cache-budget blocks, all k powers executed over each
+	// resident block (see internal/core/levelblock.go).
+	EngineLevelBlocked
+	// EngineAuto arbitrates between EngineForwardBackward and
+	// EngineLevelBlocked per matrix at build time (see AutotuneEngine);
+	// the winner is reported by Plan.Engine and PlanStats.Tune.Engine.
+	EngineAuto
 )
 
 func (e Engine) String() string {
@@ -34,9 +42,24 @@ func (e Engine) String() string {
 		return "standard"
 	case EngineForwardBackward:
 		return "fbmpk"
+	case EngineLevelBlocked:
+		return "levelblock"
+	case EngineAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
+}
+
+// ParseEngine maps an engine name ("fbmpk", "standard", "levelblock",
+// "auto") to its Engine; used by command-line flags.
+func ParseEngine(s string) (Engine, error) {
+	for _, e := range []Engine{EngineForwardBackward, EngineStandard, EngineLevelBlocked, EngineAuto} {
+		if s == e.String() {
+			return e, nil
+		}
+	}
+	return EngineForwardBackward, fmt.Errorf("core: unknown engine %q (have fbmpk, standard, levelblock, auto)", s)
 }
 
 // Options configures a Plan.
@@ -90,6 +113,14 @@ type Options struct {
 	// BSRBlock is the BSR block size (0 = detect from the structure,
 	// see DetectBSRBlock). Only meaningful for BackendBSR.
 	BSRBlock int
+	// LevelBlockBytes is the cache budget (bytes of matrix data) per
+	// level block of the level-blocked engine (0 =
+	// DefaultLevelBlockBytes). Only meaningful for EngineLevelBlocked
+	// and EngineAuto.
+	LevelBlockBytes int
+	// TuneK is the power k the EngineAuto arbitration optimizes for
+	// (0 = DefaultTuneK). Only meaningful for EngineAuto.
+	TuneK int
 	// tuned is a cached autotuner verdict injected by the registry via
 	// WithTunedDecision: a BackendAuto plan replays it instead of
 	// sampling. Excluded from fingerprints and canonicalization — it
@@ -126,8 +157,11 @@ func DefaultOptions(threads int) Options {
 // executions and fails later calls with ErrClosed.
 type Plan struct {
 	opt  Options
+	eng  Engine // resolved engine (EngineAuto arbitrated at build)
 	n    int
 	ord  *reorder.ABMCResult // non-nil when ABMC was applied
+	perm reorder.Perm        // execution-order permutation (ABMC or level), nil = identity
+	lvl  *levelSchedule      // non-nil for the level-blocked engine
 	pool *parallel.Pool      // non-nil when Threads > 1
 	fb   *FBParallel         // non-nil for parallel FB
 	fbm  *FBParallelMulti    // batched executor over fb
@@ -199,7 +233,8 @@ type PlanStats struct {
 	PermTime    time.Duration // symmetric permutation apply (parallel)
 	SplitTime   time.Duration // A = L + D + U (parallel)
 	NumColors   int           // 0 when no ABMC was applied
-	NumBlocks   int
+	NumBlocks   int           // ABMC blocks, or level blocks for the level-blocked engine
+	NumLevels   int           // BFS levels of the level-blocked schedule (0 otherwise)
 	// ParallelPrep reports whether preprocessing ran on the worker
 	// pool (Threads > 1) rather than the serial path.
 	ParallelPrep bool
@@ -242,9 +277,45 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 		opt: opt, n: a.Rows, closed: make(chan struct{}),
 		srcRowPtr: a.RowPtr, srcColIdx: a.ColIdx,
 	}
-	ea := a // matrix in execution order (replaced if ABMC applies)
+	ea := a // matrix in execution order (replaced if a reorder applies)
+
+	// EngineAuto resolves to a concrete engine before any preprocessing:
+	// the arbitration (or a cached verdict injected via
+	// WithTunedDecision) decides which reorder, split, and kernel the
+	// rest of the build prepares. opt.Engine stays as spelled so
+	// fingerprints and replays see the configuration, not the verdict.
+	eng := opt.Engine
+	var engDec *EngineDecision
+	var engElapsed time.Duration
+	if opt.Engine == EngineAuto {
+		engStart := time.Now()
+		tk := opt.TuneK
+		if tk <= 0 {
+			tk = DefaultTuneK
+		}
+		tth := opt.Threads
+		if tth <= 1 {
+			tth = 0
+		}
+		if opt.tuned != nil && opt.tuned.Engine != nil && opt.tuned.Engine.K == tk && opt.tuned.Engine.Threads == tth {
+			d := *opt.tuned.Engine
+			d.FromCache = true
+			d.Samples = 0
+			engDec = &d
+		} else {
+			d, err := AutotuneEngine(a, tk, opt.LevelBlockBytes, opt.Threads)
+			if err != nil {
+				return nil, err
+			}
+			engDec = d
+		}
+		eng = engDec.Engine
+		engElapsed = time.Since(engStart)
+	}
+	p.eng = eng
 	parallelRun := opt.Threads > 1
-	needABMC := opt.ForceABMC || (parallelRun && opt.Engine == EngineForwardBackward)
+	needABMC := (opt.ForceABMC && eng != EngineLevelBlocked) ||
+		(parallelRun && eng == EngineForwardBackward)
 
 	// The worker pool is created before preprocessing so the O(nnz)
 	// build stages (block graph, permutation apply, split) run on it;
@@ -303,10 +374,32 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 		p.stats.NumColors = ord.NumColors
 		p.stats.NumBlocks = ord.NumBlocks()
 		p.ord = ord
+		p.perm = ord.Perm
+		ea = b
+	}
+	if eng == EngineLevelBlocked {
+		// Level-blocked preprocessing: BFS levels, the level-contiguous
+		// permutation, and the cache-budget block grouping.
+		start := time.Now()
+		ls, err := newLevelSchedule(a, opt.LevelBlockBytes)
+		if err != nil {
+			return fail(err)
+		}
+		permStart := time.Now()
+		b, err := ls.perm.ApplySymPool(a, runner)
+		if err != nil {
+			return fail(err)
+		}
+		p.stats.PermTime = time.Since(permStart)
+		p.stats.ReorderTime = time.Since(start)
+		p.stats.NumBlocks = ls.numBlocks()
+		p.stats.NumLevels = ls.lp.NumLevels()
+		p.lvl = ls
+		p.perm = ls.perm
 		ea = b
 	}
 	var tri *sparse.Triangular
-	if opt.Engine == EngineForwardBackward {
+	if eng == EngineForwardBackward {
 		start := time.Now()
 		t, err := sparse.SplitPool(ea, runner)
 		if err != nil {
@@ -327,8 +420,22 @@ func NewPlan(a *sparse.CSR, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return fail(err)
 	}
+	if engDec != nil {
+		// Attach the engine arbitration verdict to the tuning report.
+		// initBackend fills stats.Tune only for BackendAuto; an
+		// EngineAuto plan on a fixed backend gets a fresh record here so
+		// the registry can persist and replay the verdict either way.
+		if p.stats.Tune == nil {
+			p.stats.Tune = &TuneDecision{Backend: opt.Backend, FromCache: engDec.FromCache}
+		} else {
+			p.stats.Tune.FromCache = p.stats.Tune.FromCache && engDec.FromCache
+		}
+		p.stats.Tune.Engine = engDec
+		p.stats.Tune.Samples += engDec.Samples
+		p.stats.TuneTime += engElapsed
+	}
 	if p.pool != nil {
-		if opt.Engine == EngineForwardBackward {
+		if eng == EngineForwardBackward {
 			fb, err := NewFBParallel(tri, p.ord, p.pool)
 			if err != nil {
 				return fail(err)
@@ -375,11 +482,18 @@ func (p *Plan) audit(a *sparse.CSR, tri *sparse.Triangular) error {
 			return err
 		}
 	}
-	if p.ord != nil {
-		if err := check.Perm(p.ord.Perm); err != nil {
+	if p.perm != nil {
+		if err := check.Perm(p.perm); err != nil {
 			return err
 		}
+	}
+	if p.ord != nil {
 		if err := check.ABMC(p.ord, a); err != nil {
+			return err
+		}
+	}
+	if p.lvl != nil {
+		if err := p.lvl.validatePermuted(a); err != nil {
 			return err
 		}
 	}
@@ -479,6 +593,12 @@ func (p *Plan) Workers() int {
 // Ordering returns the ABMC result when reordering was applied, else
 // nil. The matrix held by the plan is in this ordering.
 func (p *Plan) Ordering() *reorder.ABMCResult { return p.ord }
+
+// Engine returns the engine the plan executes with. For plans built
+// with EngineAuto this is the arbitration winner
+// (EngineForwardBackward or EngineLevelBlocked); otherwise it echoes
+// Options.Engine.
+func (p *Plan) Engine() Engine { return p.eng }
 
 // Matrix returns the current epoch's matrix in execution order
 // (permuted when ABMC was applied). Callers must not modify it.
@@ -591,12 +711,42 @@ func (p *Plan) fbNnz(k int) uint64 {
 // with the plan's engine.
 func (p *Plan) workPowers(k, m int) work {
 	wk := work{sweeps: uint64(k), spmvs: uint64(k) * uint64(m)}
-	if p.opt.Engine == EngineForwardBackward {
+	switch p.eng {
+	case EngineForwardBackward:
 		wk.nnz = p.fbNnz(k)
-	} else {
+	case EngineLevelBlocked:
+		// The level-blocked kernel runs one plain SpMV per (power,
+		// vector): 1 read of A per SpMV through the cache hierarchy. Its
+		// saving is DRAM residency, accounted by cachesim, not here.
+		wk.nnz = uint64(k) * uint64(m) * p.nnzA
+	default:
 		wk.nnz = uint64(k) * p.nnzA
 	}
 	return wk
+}
+
+// runLevelBlocked executes the level-blocked schedule over the current
+// epoch's permuted matrix with k+1 pooled live iterates. The returned
+// xk aliases workspace scratch — callers unpermute (copying) before it
+// escapes. The kernel reads the epoch's raw CSR (not the backend): the
+// skewed step ranges move every pass, which the chunk/block-aligned
+// SELL and BSR range kernels cannot serve.
+func (p *Plan) runLevelBlocked(ws *workspace, env *runEnv, ep *planEpoch, in []float64, k int, hook IterateFunc) ([]float64, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: power k=%d: %w", k, ErrBadPower)
+	}
+	xs := ws.lvl(p.n, k)
+	copy(xs[0], in)
+	var err error
+	if p.pool != nil {
+		err = levelBlockedMPKParallel(env, ep.a, p.lvl, xs, k, p.pool, hook)
+	} else {
+		err = levelBlockedMPK(env, ep.a, p.lvl, xs, k, hook)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return xs[k], nil
 }
 
 // MPK computes A^k x0 and returns it in the ORIGINAL row ordering,
@@ -633,7 +783,7 @@ func (p *Plan) SymGS(b, x []float64, sweeps int) error {
 // SymGSCtx is SymGS honoring ctx. On cancellation the contents of x
 // are unspecified.
 func (p *Plan) SymGSCtx(ctx context.Context, b, x []float64, sweeps int) error {
-	if p.opt.Engine != EngineForwardBackward {
+	if p.eng != EngineForwardBackward {
 		return fmt.Errorf("core: SymGS requires the forward-backward engine: %w", ErrNoSplit)
 	}
 	if len(b) != p.n || len(x) != p.n {
@@ -641,11 +791,11 @@ func (p *Plan) SymGSCtx(ctx context.Context, b, x []float64, sweeps int) error {
 	}
 	return p.exec(ctx, opSymGS, func(ws *workspace, env *runEnv, ep *planEpoch) (work, error) {
 		pb, pxv := b, x
-		if p.ord != nil {
+		if p.perm != nil {
 			pb = ws.vec(p.n)
 			pxv = ws.vec2(p.n)
-			p.ord.Perm.ApplyVec(b, pb)
-			p.ord.Perm.ApplyVec(x, pxv)
+			p.perm.ApplyVec(b, pb)
+			p.perm.ApplyVec(x, pxv)
 		}
 		var err error
 		if p.sym != nil {
@@ -656,8 +806,8 @@ func (p *Plan) SymGSCtx(ctx context.Context, b, x []float64, sweeps int) error {
 		if err != nil {
 			return work{}, err
 		}
-		if p.ord != nil {
-			p.ord.Perm.UnapplyVec(pxv, x)
+		if p.perm != nil {
+			p.perm.UnapplyVec(pxv, x)
 		}
 		// One symmetric sweep streams L, D, U twice (forward + backward
 		// half-sweeps): 2 nnzA per sweep, 2 SpMV-equivalents.
@@ -688,24 +838,26 @@ func (p *Plan) MPKAllCtx(ctx context.Context, x0 []float64, k int) ([][]float64,
 		out[0] = sparse.CopyVec(x0)
 		hook := func(power int, x []float64) {
 			v := make([]float64, p.n)
-			if p.ord != nil {
-				p.ord.Perm.UnapplyVec(x, v)
+			if p.perm != nil {
+				p.perm.UnapplyVec(x, v)
 			} else {
 				copy(v, x)
 			}
 			out[power] = v
 		}
 		in := x0
-		if p.ord != nil {
+		if p.perm != nil {
 			px := ws.vec(p.n)
-			p.ord.Perm.ApplyVec(x0, px)
+			p.perm.ApplyVec(x0, px)
 			in = px
 		}
 		var err error
 		switch {
-		case p.opt.Engine == EngineStandard && p.pool != nil:
+		case p.eng == EngineLevelBlocked:
+			_, err = p.runLevelBlocked(ws, env, ep, in, k, hook)
+		case p.eng == EngineStandard && p.pool != nil:
 			_, err = standardMPKParallel(env, ep.be, in, k, p.pool, hook)
-		case p.opt.Engine == EngineStandard:
+		case p.eng == EngineStandard:
 			_, err = standardMPK(env, ep.be, in, k, hook)
 		case p.fb != nil:
 			_, _, err = p.fb.runCapture(ep.tri, ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
@@ -737,14 +889,14 @@ func (p *Plan) MPKBatchCtx(ctx context.Context, xs [][]float64, k int) ([][]floa
 	var out [][]float64
 	err := p.exec(ctx, opMPKBatch, func(ws *workspace, env *runEnv, ep *planEpoch) (work, error) {
 		in := xs
-		if p.ord != nil {
+		if p.perm != nil {
 			in = make([][]float64, len(xs))
 			for c, x := range xs {
 				if len(x) != p.n {
 					return work{}, fmt.Errorf("core: vector %d length %d != n %d: %w", c, len(x), p.n, ErrDimension)
 				}
 				px := make([]float64, p.n)
-				p.ord.Perm.ApplyVec(x, px)
+				p.perm.ApplyVec(x, px)
 				in[c] = px
 			}
 		}
@@ -753,10 +905,10 @@ func (p *Plan) MPKBatchCtx(ctx context.Context, xs [][]float64, k int) ([][]floa
 		if err != nil {
 			return work{}, err
 		}
-		if p.ord != nil {
+		if p.perm != nil {
 			for c := range out {
 				v := make([]float64, p.n)
-				p.ord.Perm.UnapplyVec(out[c], v)
+				p.perm.UnapplyVec(out[c], v)
 				out[c] = v
 			}
 		}
@@ -848,17 +1000,46 @@ func (p *Plan) runMulti(ws *workspace, env *runEnv, ep *planEpoch, xs [][]float6
 		return nil, nil, work{}, err
 	}
 	in := xs
-	if p.ord != nil {
+	if p.perm != nil {
 		in = make([][]float64, len(xs))
 		for j, x := range xs {
 			px := make([]float64, p.n)
-			p.ord.Perm.ApplyVec(x, px)
+			p.perm.ApplyVec(x, px)
 			in[j] = px
 		}
 	}
 	wk = p.workPowers(k, m)
 	switch {
-	case p.opt.Engine == EngineStandard:
+	case p.eng == EngineLevelBlocked:
+		// One schedule pass per vector: the level-blocked pipeline keeps
+		// k+1 iterates live per vector, so the batch runs sequentially
+		// over vectors rather than widening the working set m-fold.
+		xks = make([][]float64, len(in))
+		if coeffs != nil {
+			combos = make([][]float64, len(in))
+		}
+		for j, x := range in {
+			var hook IterateFunc
+			if coeffs != nil {
+				combo := make([]float64, p.n)
+				for i := range combo {
+					combo[i] = coeffs[0] * x[i]
+				}
+				hook = func(power int, xv []float64) {
+					if c := coeffs[power]; c != 0 {
+						sparse.AXPY(c, xv, combo)
+					}
+				}
+				combos[j] = combo
+			}
+			var xk []float64
+			xk, err = p.runLevelBlocked(ws, env, ep, x, k, hook)
+			if err != nil {
+				break
+			}
+			xks[j] = sparse.CopyVec(xk)
+		}
+	case p.eng == EngineStandard:
 		xks, err = standardMPKBatch(env, ep.be, in, k)
 		if err == nil && coeffs != nil {
 			// The combo needs the intermediate powers the SpMM sweep does
@@ -882,11 +1063,11 @@ func (p *Plan) runMulti(ws *workspace, env *runEnv, ep *planEpoch, xs [][]float6
 	if err != nil {
 		return nil, nil, work{}, err
 	}
-	if p.ord != nil {
+	if p.perm != nil {
 		unperm := func(vs [][]float64) {
 			for j, v := range vs {
 				out := make([]float64, p.n)
-				p.ord.Perm.UnapplyVec(v, out)
+				p.perm.UnapplyVec(v, out)
 				vs[j] = out
 			}
 		}
@@ -971,21 +1152,23 @@ func (p *Plan) SSpMVComplexCtx(ctx context.Context, coeffs []complex128, x0 []fl
 			}
 		}
 		in := x0
-		if p.ord != nil {
+		if p.perm != nil {
 			px := ws.vec(p.n)
-			p.ord.Perm.ApplyVec(x0, px)
+			p.perm.ApplyVec(x0, px)
 			in = px
 			pre := make([]float64, p.n)
 			pim := make([]float64, p.n)
-			p.ord.Perm.ApplyVec(re, pre)
-			p.ord.Perm.ApplyVec(im, pim)
+			p.perm.ApplyVec(re, pre)
+			p.perm.ApplyVec(im, pim)
 			re, im = pre, pim
 		}
 		var err error
 		switch {
-		case p.opt.Engine == EngineStandard && p.pool != nil:
+		case p.eng == EngineLevelBlocked:
+			_, err = p.runLevelBlocked(ws, env, ep, in, k, hook)
+		case p.eng == EngineStandard && p.pool != nil:
 			_, err = standardMPKParallel(env, ep.be, in, k, p.pool, hook)
-		case p.opt.Engine == EngineStandard:
+		case p.eng == EngineStandard:
 			_, err = standardMPK(env, ep.be, in, k, hook)
 		case p.fb != nil:
 			_, _, err = p.fb.runCapture(ep.tri, ws.fb(p.n, p.opt.BtB), env, in, k, p.opt.BtB, nil, hook)
@@ -995,11 +1178,11 @@ func (p *Plan) SSpMVComplexCtx(ctx context.Context, coeffs []complex128, x0 []fl
 		if err != nil {
 			return work{}, err
 		}
-		if p.ord != nil {
+		if p.perm != nil {
 			ore := make([]float64, p.n)
 			oim := make([]float64, p.n)
-			p.ord.Perm.UnapplyVec(re, ore)
-			p.ord.Perm.UnapplyVec(im, oim)
+			p.perm.UnapplyVec(re, ore)
+			p.perm.UnapplyVec(im, oim)
 			re, im = ore, oim
 		}
 		return p.workPowers(k, 1), nil
@@ -1017,15 +1200,29 @@ func (p *Plan) run(ws *workspace, env *runEnv, ep *planEpoch, x0 []float64, k in
 		return nil, nil, work{}, fmt.Errorf("core: x0 length %d != n %d: %w", len(x0), p.n, ErrDimension)
 	}
 	in := x0
-	if p.ord != nil {
+	if p.perm != nil {
 		px := ws.vec(p.n)
-		p.ord.Perm.ApplyVec(x0, px)
+		p.perm.ApplyVec(x0, px)
 		in = px
 	}
 
 	wk = p.workPowers(k, 1)
 	switch {
-	case p.opt.Engine == EngineStandard && p.pool != nil:
+	case p.eng == EngineLevelBlocked:
+		var hook IterateFunc
+		if coeffs != nil {
+			combo = make([]float64, p.n)
+			for i := range combo {
+				combo[i] = coeffs[0] * in[i]
+			}
+			hook = func(power int, x []float64) {
+				if c := coeffs[power]; c != 0 {
+					sparse.AXPY(c, x, combo)
+				}
+			}
+		}
+		xk, err = p.runLevelBlocked(ws, env, ep, in, k, hook)
+	case p.eng == EngineStandard && p.pool != nil:
 		xk, err = standardMPKParallel(env, ep.be, in, k, p.pool, nil)
 		if err == nil && coeffs != nil {
 			// The parallel standard engine retains no iterates, so the
@@ -1034,7 +1231,7 @@ func (p *Plan) run(ws *workspace, env *runEnv, ep *planEpoch, x0 []float64, k in
 			wk.nnz += uint64(k) * p.nnzA
 			combo, err = p.standardCombo(env, ep, in, coeffs)
 		}
-	case p.opt.Engine == EngineStandard:
+	case p.eng == EngineStandard:
 		var hook IterateFunc
 		if coeffs != nil {
 			combo = make([]float64, p.n)
@@ -1056,13 +1253,13 @@ func (p *Plan) run(ws *workspace, env *runEnv, ep *planEpoch, x0 []float64, k in
 	if err != nil {
 		return nil, nil, work{}, err
 	}
-	if p.ord != nil {
+	if p.perm != nil {
 		out := make([]float64, p.n)
-		p.ord.Perm.UnapplyVec(xk, out)
+		p.perm.UnapplyVec(xk, out)
 		xk = out
 		if combo != nil {
 			cout := make([]float64, p.n)
-			p.ord.Perm.UnapplyVec(combo, cout)
+			p.perm.UnapplyVec(combo, cout)
 			combo = cout
 		}
 	}

@@ -3,6 +3,8 @@ package core
 import (
 	"time"
 
+	"fbmpk/internal/parallel"
+	"fbmpk/internal/reorder"
 	"fbmpk/internal/sparse"
 )
 
@@ -58,6 +60,21 @@ const (
 	// tunePruneSlack keeps a candidate for measurement only when its
 	// modeled bytes/nnz is within this factor of CSR's.
 	tunePruneSlack = 1.05
+
+	// engineTuneMargin is the fraction of FBMPK's cost (modeled bytes or
+	// measured time) level blocking must beat to win the EngineAuto
+	// arbitration: LB pays k+1 live iterates and a skewed schedule, so a
+	// marginal model win is not worth switching engines for.
+	engineTuneMargin = 0.85
+	// engineTuneReps measures each engine's serial kernel this many
+	// times (min-of-reps), on top of one warm-up run.
+	engineTuneReps = 3
+	// engineTuneMeasureNNZ bounds the matrices the arbitration
+	// micro-measures end to end; above it the k-power runs would
+	// dominate NewPlan, so the decision falls back to the traffic model
+	// alone (which is also where the model is most reliable: both
+	// engines are DRAM-bound at that size).
+	engineTuneMeasureNNZ = 4_000_000
 )
 
 // TuneCandidate is one (format, config) the autotuner considered.
@@ -100,6 +117,47 @@ type TuneDecision struct {
 	// Candidates is the full table the decision was made from, in the
 	// fixed evaluation order.
 	Candidates []TuneCandidate `json:"candidates,omitempty"`
+	// Engine is the EngineAuto arbitration verdict, nil unless the plan
+	// was built with EngineAuto (see AutotuneEngine). Cached and
+	// replayed alongside the backend verdict.
+	Engine *EngineDecision `json:"engine,omitempty"`
+}
+
+// EngineDecision is the EngineAuto arbitration verdict: which MPK
+// engine (forward-backward or level-blocked) a plan should execute
+// with for one matrix structure at power K, with the modeled per-pass
+// DRAM traffic and (when the matrix was small enough to measure) the
+// serial micro-benchmark times behind the choice.
+type EngineDecision struct {
+	Engine Engine `json:"engine"`
+	// K is the power the arbitration optimized for (Options.TuneK
+	// resolved); a cached verdict is only replayed at the same K.
+	K int `json:"k"`
+	// Threads is the worker count the measured tie-break ran with (0 =
+	// serial). A plan that will run parallel is arbitrated with the
+	// parallel kernels — barrier cost and scheduling overhead rank the
+	// engines differently than the serial kernels do — and a cached
+	// verdict is only replayed at the same thread count.
+	Threads int `json:"threads,omitempty"`
+	// NumLevels and NumBlocks describe the level schedule the
+	// level-blocked candidate would execute.
+	NumLevels int `json:"num_levels"`
+	NumBlocks int `json:"num_blocks"`
+	// FBModelBytes models the matrix bytes a k-power FBMPK pass streams
+	// from DRAM ((k+1)/2 reads of A); LBModelBytes models the
+	// level-blocked schedule's per-pass streamed footprint (each pass
+	// reads the levels its skewed steps touch once).
+	FBModelBytes int64 `json:"fb_model_bytes"`
+	LBModelBytes int64 `json:"lb_model_bytes"`
+	// FBSampleNs/LBSampleNs are the min-of-reps serial kernel times (0
+	// when the decision was model-only).
+	FBSampleNs int64 `json:"fb_sample_ns,omitempty"`
+	LBSampleNs int64 `json:"lb_sample_ns,omitempty"`
+	// Samples counts the kernel invocations the arbitration cost (0
+	// when model-only or replayed from the registry).
+	Samples int `json:"samples"`
+	// FromCache marks a verdict replayed from the registry.
+	FromCache bool `json:"from_cache,omitempty"`
 }
 
 // csrModelBytesPerNNZ models one CSR SpMV: 12 bytes per stored entry
@@ -326,6 +384,174 @@ func Autotune(a *sparse.CSR) TuneDecision {
 	dec.Block = cands[winner].Block
 	dec.Candidates = cands
 	return dec
+}
+
+// AutotuneEngine arbitrates between the forward-backward and
+// level-blocked engines for matrix a at power k (<= 0 selects
+// DefaultTuneK): model the DRAM traffic of both schedules from the
+// level structure, decide deterministically when the model is
+// one-sided, and micro-measure the kernels as tie-break when the
+// matrix is small enough to afford it. blockBytes <= 0 selects
+// DefaultLevelBlockBytes. threads > 1 measures the parallel kernels
+// the plan would actually run (ABMC-FB on a default-config ordering,
+// the level-blocked schedule on the worker pool) — the serial and
+// parallel rankings genuinely differ on barrier-sensitive hosts, so
+// the verdict must come from the execution mode it will serve.
+// Deterministic given the matrix structure except for the measured
+// tie-break, which the engineTuneMargin guards the same way the
+// backend tuner's margin does; the executed result of either verdict
+// is bitwise identical across plans.
+func AutotuneEngine(a *sparse.CSR, k, blockBytes, threads int) (*EngineDecision, error) {
+	if k <= 0 {
+		k = DefaultTuneK
+	}
+	if threads <= 1 {
+		threads = 0
+	}
+	ls, err := newLevelSchedule(a, blockBytes)
+	if err != nil {
+		return nil, err
+	}
+	nl := ls.lp.NumLevels()
+	dec := &EngineDecision{
+		Engine:    EngineForwardBackward,
+		K:         k,
+		Threads:   threads,
+		NumLevels: nl,
+		NumBlocks: ls.numBlocks(),
+	}
+
+	// FB traffic model: the (k+1)/2-reads-of-A result, in bytes (12 per
+	// stored entry). The triangle census is one O(nnz) scan — no Split.
+	var nnzL, nnzU, nnzD int64
+	for i := 0; i < a.Rows; i++ {
+		for j := a.RowPtr[i]; j < a.RowPtr[i+1]; j++ {
+			switch c := int(a.ColIdx[j]); {
+			case c < i:
+				nnzL++
+			case c > i:
+				nnzU++
+			default:
+				nnzD++
+			}
+		}
+	}
+	fwd, bwd := int64(k+1)/2, int64(k)/2
+	dec.FBModelBytes = 12 * (nnzU + fwd*(nnzL+nnzD) + bwd*nnzU)
+
+	// LB traffic model: every pass streams the union of the levels its
+	// k skewed steps touch once (the block itself plus up to k-1 levels
+	// of skewed tail); cache residency within the pass is the premise
+	// the block budget enforces.
+	levelNnz := make([]int64, nl+1)
+	for l := 0; l < nl; l++ {
+		var s int64
+		for _, r := range ls.lp.Rows[ls.lp.LevelPtr[l]:ls.lp.LevelPtr[l+1]] {
+			s += a.RowPtr[r+1] - a.RowPtr[r]
+		}
+		levelNnz[l+1] = levelNnz[l] + s
+	}
+	for b := 0; b <= ls.numBlocks(); b++ {
+		bLo, bHi := ls.passBounds(b, k)
+		lo := clampLevel(bLo-(k-1), nl)
+		hi := clampLevel(bHi, nl)
+		if lo < hi {
+			dec.LBModelBytes += 12 * (levelNnz[hi] - levelNnz[lo])
+		}
+	}
+
+	if dec.LBModelBytes > int64(float64(dec.FBModelBytes)*tunePruneSlack) {
+		// The model already rules level blocking out (deep skew overlap
+		// or too many tiny blocks): deterministic FB, nothing measured.
+		return dec, nil
+	}
+	if a.NNZ() > engineTuneMeasureNNZ {
+		// Too large to run 2*(reps+1) k-power sweeps at build time;
+		// trust the model with the engine margin.
+		if float64(dec.LBModelBytes) < engineTuneMargin*float64(dec.FBModelBytes) {
+			dec.Engine = EngineLevelBlocked
+		}
+		return dec, nil
+	}
+
+	// Measured tie-break: both kernels end to end, including the
+	// schedules they would really execute (FB on the L+D+U split, LB on
+	// the level-permuted matrix), min-of-reps. With threads > 1 the
+	// measured kernels are the parallel ones, on a throwaway pool of the
+	// plan's worker count.
+	x := tuneVector(a.Cols, uint64(a.Rows)<<32^uint64(a.NNZ()))
+	pa, err := ls.perm.ApplySym(a)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([][]float64, k+1)
+	for p := range xs {
+		xs[p] = make([]float64, a.Rows)
+	}
+	ls.perm.ApplyVec(x, xs[0])
+	x0p := sparse.CopyVec(xs[0])
+	if threads > 0 {
+		pool := parallel.NewPoolNamed(threads, "tune")
+		defer pool.Close()
+		ord, err := reorder.ABMC(a, reorder.ABMCOptions{Pool: pool})
+		if err != nil {
+			return nil, err
+		}
+		fa, err := ord.Perm.ApplySymPool(a, pool)
+		if err != nil {
+			return nil, err
+		}
+		ftri, err := sparse.SplitPool(fa, pool)
+		if err != nil {
+			return nil, err
+		}
+		fb, err := NewFBParallel(ftri, ord, pool)
+		if err != nil {
+			return nil, err
+		}
+		xf := make([]float64, a.Rows)
+		ord.Perm.ApplyVec(x, xf)
+		dec.FBSampleNs = measureEngine(func() {
+			_, _, _ = fb.Run(xf, k, true, nil)
+		})
+		dec.LBSampleNs = measureEngine(func() {
+			copy(xs[0], x0p)
+			_ = levelBlockedMPKParallel(nil, pa, ls, xs, k, pool, nil)
+		})
+	} else {
+		tri, err := sparse.SplitPool(a, nil)
+		if err != nil {
+			return nil, err
+		}
+		ws := &workspace{}
+		dec.FBSampleNs = measureEngine(func() {
+			_, _, _ = fbmpkSerial(ws.fb(a.Rows, true), nil, tri, x, k, true, nil, nil)
+		})
+		dec.LBSampleNs = measureEngine(func() {
+			copy(xs[0], x0p)
+			_ = levelBlockedMPK(nil, pa, ls, xs, k, nil)
+		})
+	}
+	dec.Samples = 2 * (engineTuneReps + 1)
+	if float64(dec.LBSampleNs) < engineTuneMargin*float64(dec.FBSampleNs) {
+		dec.Engine = EngineLevelBlocked
+	}
+	return dec, nil
+}
+
+// measureEngine runs kernel once warm, then engineTuneReps times,
+// returning the minimum duration in nanoseconds.
+func measureEngine(kernel func()) int64 {
+	kernel()
+	best := int64(0)
+	for rep := 0; rep < engineTuneReps; rep++ {
+		start := time.Now()
+		kernel()
+		if d := time.Since(start).Nanoseconds(); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // gbps converts a modeled per-nnz traffic and a measured duration into

@@ -232,3 +232,71 @@ func TestAutotuneMatchesCSRResults(t *testing.T) {
 		t.Fatalf("auto (%s) vs csr diff %g", auto.Backend(), d)
 	}
 }
+
+// chainCSR builds a symmetric tridiagonal chain of n rows: n BFS
+// levels, diameter n-1 — the deepest possible level structure.
+func chainCSR(n int) *sparse.CSR {
+	coo := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		if i+1 < n {
+			coo.Add(i, i+1, -1)
+			coo.Add(i+1, i, -1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// TestAutotuneEngineModelOneSidedIsDeterministic: with a tiny block
+// budget on a deep chain, every pass's skewed tail re-reads k-1 extra
+// levels, so the LB model exceeds FB's and the verdict is FB with
+// zero samples — a pure function of the structure, identical across
+// calls.
+func TestAutotuneEngineModelOneSidedIsDeterministic(t *testing.T) {
+	a := chainCSR(2048)
+	d1, err := AutotuneEngine(a, 6, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Engine != EngineForwardBackward || d1.Samples != 0 {
+		t.Fatalf("deep chain with 64-byte blocks should be model-decided FB: %+v", d1)
+	}
+	if d1.LBModelBytes <= d1.FBModelBytes {
+		t.Fatalf("skew overlap should inflate the LB model: %+v", d1)
+	}
+	d2, err := AutotuneEngine(a, 6, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *d1 != *d2 {
+		t.Fatalf("model-only verdict not deterministic: %+v vs %+v", d1, d2)
+	}
+	if d1.NumLevels != 2048 {
+		t.Fatalf("chain of 2048 rows has %d levels, want 2048", d1.NumLevels)
+	}
+}
+
+// TestAutotuneEngineRecordsThreads: the verdict carries the worker
+// count the tie-break measured with (0 = serial), and the models are
+// thread-independent.
+func TestAutotuneEngineRecordsThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	a := randomCSR(rng, 600, 4)
+	serial, err := AutotuneEngine(a, 4, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AutotuneEngine(a, 4, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Threads != 0 || par.Threads != 3 {
+		t.Fatalf("threads recorded as %d / %d, want 0 / 3", serial.Threads, par.Threads)
+	}
+	if serial.FBModelBytes != par.FBModelBytes || serial.LBModelBytes != par.LBModelBytes {
+		t.Fatalf("traffic models must not depend on threads: %+v vs %+v", serial, par)
+	}
+	if serial.Samples == 0 || par.Samples == 0 {
+		t.Fatalf("600-row matrix should be measured in both modes: %+v vs %+v", serial, par)
+	}
+}

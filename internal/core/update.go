@@ -79,13 +79,13 @@ func (p *Plan) UpdateValuesCtx(ctx context.Context, a *sparse.CSR) error {
 	// reordered plans, copied verbatim otherwise. The copy insulates
 	// the epoch from later caller writes to a.Val.
 	nv := make([]float64, len(cur.a.Val))
-	if p.ord != nil {
+	if p.perm != nil {
 		if p.valMap == nil {
 			// Lazily built (and then reused for every later update):
 			// exec-order slot -> original value index, replaying the
 			// ApplySym gather order so the result is bitwise identical
 			// to a fresh NewPlan on a.
-			m, err := p.ord.Perm.ValueMap(a)
+			m, err := p.perm.ValueMap(a)
 			if err != nil {
 				return fmt.Errorf("core: UpdateValues: %w", err)
 			}

@@ -54,7 +54,9 @@ func TestBFSLevelsProperty(t *testing.T) {
 }
 
 func TestBFSLevelsDisconnected(t *testing.T) {
-	// Two components: levels restart per component but share numbering.
+	// Three components, stacked: each component's BFS starts one level
+	// past the previous component's deepest level, so no level mixes
+	// rows of different components.
 	coo := sparse.NewCOO(6, 6, 10)
 	coo.AddSym(0, 1, 1)
 	coo.AddSym(1, 2, 1)
@@ -70,8 +72,14 @@ func TestBFSLevelsDisconnected(t *testing.T) {
 	if err := lp.Validate(a); err != nil {
 		t.Error(err)
 	}
-	if lp.Level[5] != 0 {
-		t.Errorf("isolated vertex level = %d, want 0", lp.Level[5])
+	want := []int32{0, 1, 2, 3, 4, 5}
+	for i, w := range want {
+		if lp.Level[i] != w {
+			t.Errorf("level[%d] = %d, want %d", i, lp.Level[i], w)
+		}
+	}
+	if lp.NumLevels() != 6 {
+		t.Errorf("NumLevels = %d, want 6", lp.NumLevels())
 	}
 }
 

@@ -12,8 +12,9 @@ package core
 // earlier in the same pass), which is the same guarantee a freshly
 // allocated state relies on.
 type workspace struct {
-	px  []float64 // permutation scratch (input side)
-	py  []float64 // second permutation scratch (SymGS x, complex SSpMV)
+	px  []float64   // permutation scratch (input side)
+	py  []float64   // second permutation scratch (SymGS x, complex SSpMV)
+	lv  [][]float64 // level-blocked engine live iterates (k+1 vectors)
 	st  *fbState
 	mst *fbMultiState
 }
@@ -37,6 +38,22 @@ func (ws *workspace) vec(n int) []float64 {
 func (ws *workspace) vec2(n int) []float64 {
 	ws.py = ensureLen(ws.py, n)
 	return ws.py
+}
+
+// lvl returns the k+1 live iterate vectors of the level-blocked
+// engine, each of length n. Like the other scratch, the vectors are
+// reused without zeroing: the skewed schedule writes every entry of
+// xs[p] before any tile reads it.
+func (ws *workspace) lvl(n, k int) [][]float64 {
+	if cap(ws.lv) >= k+1 {
+		ws.lv = ws.lv[:k+1]
+	} else {
+		ws.lv = append(ws.lv[:cap(ws.lv)], make([][]float64, k+1-cap(ws.lv))...)
+	}
+	for p := range ws.lv {
+		ws.lv[p] = ensureLen(ws.lv[p], n)
+	}
+	return ws.lv
 }
 
 // fb returns the single-vector pipeline state for dimension n and the

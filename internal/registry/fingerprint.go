@@ -45,11 +45,19 @@ func Canonicalize(opt core.Options) core.Options {
 		// 0 and 1 both select the serial engines.
 		opt.Threads = 0
 	}
-	if opt.Engine != core.EngineForwardBackward {
-		// BtB is a property of the FB pipeline's vector layout.
+	if opt.Engine != core.EngineForwardBackward && opt.Engine != core.EngineAuto {
+		// BtB is a property of the FB pipeline's vector layout; an Auto
+		// plan keeps it because the arbitration may resolve to FB.
 		opt.BtB = false
 	}
-	needABMC := opt.ForceABMC || (opt.Threads > 1 && opt.Engine == core.EngineForwardBackward)
+	if opt.Engine == core.EngineLevelBlocked {
+		// The level schedule supplies the ordering: ABMC never runs, so
+		// ForceABMC is inert (and must fold before the needABMC test
+		// below zeroes the blocking knobs it would otherwise pin).
+		opt.ForceABMC = false
+	}
+	needABMC := opt.ForceABMC || (opt.Threads > 1 &&
+		(opt.Engine == core.EngineForwardBackward || opt.Engine == core.EngineAuto))
 	if needABMC {
 		if opt.NumBlocks <= 0 {
 			opt.NumBlocks = reorder.DefaultNumBlocks
@@ -59,6 +67,23 @@ func Canonicalize(opt core.Options) core.Options {
 		opt.NumBlocks = 0
 		opt.ColorOrder = 0
 		opt.PreRCM = false
+	}
+	if opt.Engine == core.EngineLevelBlocked || opt.Engine == core.EngineAuto {
+		// Resolve the block budget so 0 and the explicit default share a
+		// key; inert for the other engines.
+		if opt.LevelBlockBytes <= 0 {
+			opt.LevelBlockBytes = core.DefaultLevelBlockBytes
+		}
+	} else {
+		opt.LevelBlockBytes = 0
+	}
+	if opt.Engine == core.EngineAuto {
+		if opt.TuneK <= 0 {
+			opt.TuneK = core.DefaultTuneK
+		}
+	} else {
+		// TuneK only parameterizes the EngineAuto arbitration.
+		opt.TuneK = 0
 	}
 	if opt.Threads > 1 {
 		// Pool plans clamp the admission gate to one execution.
@@ -114,11 +139,12 @@ func Fingerprint(a *sparse.CSR, opt core.Options) Key {
 // structure and values digests. opt must already be canonicalized.
 func fingerprintWithParts(s, v Key, a *sparse.CSR, opt core.Options) Key {
 	h := sha256.New()
-	var buf [16 + 16*8]byte
+	var buf [16 + 18*8]byte
 	// The tag version moves whenever the key layout changes (v2 added
-	// the backend words, v3 switched to sub-digest composition), so keys
-	// from different layouts can never collide.
-	n := copy(buf[:], "fbmpk-plan-v3\x00")
+	// the backend words, v3 switched to sub-digest composition, v4 added
+	// the level-blocked engine words), so keys from different layouts
+	// can never collide.
+	n := copy(buf[:], "fbmpk-plan-v4\x00")
 	for _, w := range headerWords(a, opt) {
 		binary.LittleEndian.PutUint64(buf[n:], w)
 		n += 8
@@ -158,14 +184,14 @@ func valuesFingerprint(a *sparse.CSR) Key {
 // headerWords flattens the dimensions and canonical options into
 // fixed-position words so every field occupies its own slot in the
 // digest input (no ambiguity between adjacent fields).
-func headerWords(a *sparse.CSR, opt core.Options) [16]uint64 {
+func headerWords(a *sparse.CSR, opt core.Options) [18]uint64 {
 	b2u := func(b bool) uint64 {
 		if b {
 			return 1
 		}
 		return 0
 	}
-	return [16]uint64{
+	return [18]uint64{
 		uint64(a.Rows),
 		uint64(a.Cols),
 		uint64(a.NNZ()),
@@ -182,6 +208,8 @@ func headerWords(a *sparse.CSR, opt core.Options) [16]uint64 {
 		uint64(opt.SELLChunk),
 		uint64(opt.SELLSigma),
 		uint64(opt.BSRBlock),
+		uint64(opt.LevelBlockBytes),
+		uint64(opt.TuneK),
 	}
 }
 
@@ -198,7 +226,8 @@ func structOptKey(a *sparse.CSR, opt core.Options) Key {
 // fingerprint, so callers needing several keys hash the structure once.
 func structOptKeyFromStruct(s Key, a *sparse.CSR, opt core.Options) Key {
 	h := sha256.New()
-	h.Write([]byte("fbmpk-structopt-v1\x00"))
+	// v2: the option words grew the level-blocked engine fields.
+	h.Write([]byte("fbmpk-structopt-v2\x00"))
 	h.Write(s[:])
 	var buf [8]byte
 	// Option words only: dimensions and nnz are already covered by the

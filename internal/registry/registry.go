@@ -271,8 +271,25 @@ func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.O
 	r.structIdx[e.sKey] = key
 	r.misses++
 	buildOpts := []core.Option{opt}
-	if opt.Backend == core.BackendAuto {
-		if dec, ok := r.tunings[structKey]; ok {
+	useBackend := opt.Backend == core.BackendAuto
+	useEngine := opt.Engine == core.EngineAuto
+	if useBackend || useEngine {
+		// A cached verdict is only injected when it carries everything
+		// this plan would tune: a backend candidate table for
+		// BackendAuto, and an engine arbitration at the plan's TuneK
+		// (canonicalized, so resolved) and thread count for EngineAuto.
+		// A partial or differently-parameterized verdict counts as a
+		// miss and is re-tuned (the persist below merges, so the halves
+		// accumulate).
+		eth := opt.Threads
+		if eth <= 1 {
+			eth = 0
+		}
+		dec, ok := r.tunings[structKey]
+		usable := ok &&
+			(!useBackend || len(dec.Candidates) > 0) &&
+			(!useEngine || (dec.Engine != nil && dec.Engine.K == opt.TuneK && dec.Engine.Threads == eth))
+		if usable {
 			buildOpts = append(buildOpts, core.WithTunedDecision(dec))
 			r.tuneHits++
 		} else {
@@ -301,9 +318,22 @@ func (r *Registry) AcquireCtx(ctx context.Context, a *sparse.CSR, opts ...core.O
 		r.buildTime += elapsed
 		r.byPlan[plan] = e
 		if tune := plan.Stats().Tune; tune != nil && !tune.FromCache {
-			// Persist the fresh verdict (sans FromCache) for the next
-			// build of this structure.
-			r.tunings[structKey] = *tune
+			// Persist the fresh verdict for the next build of this
+			// structure, merging with whatever half is already cached: a
+			// fixed-backend EngineAuto plan contributes only an engine
+			// arbitration and must not clobber a cached backend
+			// candidate table, and vice versa.
+			t := *tune
+			if prev, ok := r.tunings[structKey]; ok {
+				if t.Engine == nil {
+					t.Engine = prev.Engine
+				}
+				if len(t.Candidates) == 0 && len(prev.Candidates) > 0 {
+					prev.Engine = t.Engine
+					t = prev
+				}
+			}
+			r.tunings[structKey] = t
 		}
 	}
 	close(e.done)

@@ -78,7 +78,7 @@ func TestRegistryCachedVsFreshDeterminism(t *testing.T) {
 	defer reg.Close()
 
 	for _, threads := range []int{1, 4} {
-		for _, engine := range []Engine{EngineStandard, EngineForwardBackward} {
+		for _, engine := range []Engine{EngineStandard, EngineForwardBackward, EngineLevelBlocked} {
 			opts := DefaultOptions(threads)
 			opts.Engine = engine
 			name := fmt.Sprintf("threads=%d/engine=%v", threads, engine)
